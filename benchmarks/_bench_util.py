@@ -1,0 +1,12 @@
+"""Shared helpers for the benchmark harness."""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(results_dir, name: str, text: str) -> None:
+    """Persist one reproduction table (also echoed for -s runs)."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")

@@ -1,0 +1,66 @@
+"""Sec. 4.2's speed/accuracy trade-off across activation variants.
+
+"We provide different circuits for computing DL non-linear activation
+functions to offer speed/accuracy trade-off.  One can choose each
+circuit according to her application criteria."  This harness quantifies
+that choice end to end: for each Tanh variant, the gate cost of a full
+compiled model and the classification agreement with the float model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import FixedPointFormat, simulate
+from repro.compile import CompileOptions, compile_model
+from repro.nn import Dense, QuantizedModel, Sequential, Tanh, TrainConfig, Trainer
+
+from _bench_util import write_report
+
+FMT = FixedPointFormat(3, 12)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(3)
+    x = rng.uniform(-1, 1, size=(400, 10))
+    w = rng.normal(size=(10, 3))
+    y = (x @ w).argmax(axis=1)
+    model = Sequential([Dense(6), Tanh(), Dense(3)], input_shape=(10,), seed=1)
+    Trainer(model, TrainConfig(epochs=20, learning_rate=0.2)).fit(x, y)
+    return model, x
+
+
+def test_variant_tradeoff(benchmark, trained, results_dir):
+    model, x = trained
+    float_labels = model.predict(x[:60])
+
+    def evaluate_variant(activation):
+        variant = "exact" if activation in ("exact", "truncated", "piecewise") else "cordic"
+        quantized = QuantizedModel(model, FMT, activation_variant=variant)
+        compiled = compile_model(
+            quantized, CompileOptions(activation=activation, output="argmax")
+        )
+        server = compiled.server_bits()
+        agree = 0
+        for k in range(60):
+            bits = simulate(compiled.circuit, compiled.client_bits(x[k]), server)
+            agree += int(compiled.decode_output(bits) == float_labels[k])
+        return compiled.circuit.counts(), agree / 60
+
+    rows = {}
+    for activation in ("piecewise", "truncated", "cordic"):
+        rows[activation] = evaluate_variant(activation)
+    benchmark.pedantic(
+        lambda: evaluate_variant("piecewise"), rounds=1, iterations=1
+    )
+
+    lines = [f"{'variant':<12}{'non-XOR':>10}{'agreement with float':>24}"]
+    for name, (counts, agreement) in rows.items():
+        lines.append(f"{name:<12}{counts.non_xor:>10}{agreement:>24.3f}")
+    write_report(results_dir, "activation_tradeoff", "\n".join(lines))
+
+    # cheaper variants cost fewer tables...
+    assert rows["piecewise"][0].non_xor < rows["cordic"][0].non_xor
+    # ...and every variant keeps high label agreement on this task
+    for name, (_, agreement) in rows.items():
+        assert agreement >= 0.9, name

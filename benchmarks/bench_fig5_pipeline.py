@@ -1,0 +1,85 @@
+"""Figure 5: the sequential-GC timing diagram.
+
+Runs a real sequential garbled execution, measures per-cycle garble and
+evaluate durations, builds the overlapped schedule and renders the Gantt
+chart.  Asserts the figure's qualitative claims: phases overlap, and the
+total execution time is strictly less than the sum of both parties'
+times.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import ascii_gantt, schedule, schedule_from_result
+from repro.circuits import bits_from_int
+from repro.circuits.arith import multiply_accumulate
+from repro.circuits.sequential import SequentialBuilder
+from repro.gc import SequentialSession
+from repro.gc.ot import TEST_GROUP_512
+
+from _bench_util import write_report
+
+
+def folded_mac(width=8, acc_width=20):
+    """The paper's Sec. 3.5 example: one MULT+ADD folded with registers."""
+    bld = SequentialBuilder("folded_mac")
+    x = bld.add_alice_inputs(width)
+    w = bld.add_bob_inputs(width)
+    acc = bld.add_registers(acc_width)
+    total = multiply_accumulate(bld, acc, x, w, frac_bits=4)
+    bld.bind_registers(acc, total)
+    bld.mark_output_bus(total)
+    return bld.build_sequential()
+
+
+def test_fig5_measured_pipeline(benchmark, results_dir):
+    seq = folded_mac()
+    rng = random.Random(1)
+    cycles = 6
+    xs = [bits_from_int(rng.randrange(100), 8) for _ in range(cycles)]
+    ws = [bits_from_int(rng.randrange(100), 8) for _ in range(cycles)]
+
+    def run():
+        session = SequentialSession(seq, ot_group=TEST_GROUP_512,
+                                    rng=random.Random(2))
+        return session.run(xs, ws, cycles=cycles)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    sched = schedule_from_result(result, bandwidth_bytes_per_s=50e6)
+    text = (
+        ascii_gantt(sched)
+        + f"\nper-cycle non-XOR: {result.n_non_xor_per_cycle}"
+        + f"\ncomm: {result.comm}"
+    )
+    write_report(results_dir, "fig5_pipeline", text)
+    # Fig. 5 claims: overlap means makespan < serial sum
+    assert sched.makespan < sched.serial_time
+    # and the bottleneck actor lower-bounds the makespan
+    assert sched.makespan >= sum(result.garble_times)
+
+
+def test_fig5_transfer_dominated_regime(benchmark, results_dir):
+    """At the paper's bandwidth the wire is the bottleneck; the schedule
+    should show back-to-back transfers with both CPUs idling."""
+    sched = benchmark(
+        lambda: schedule(
+            garble_times=[0.01] * 5,
+            transfer_times=[0.05] * 5,
+            evaluate_times=[0.01] * 5,
+            ot_time=0.01,
+        )
+    )
+    write_report(results_dir, "fig5_transfer_bound", ascii_gantt(sched))
+    # makespan = first garble + 5 back-to-back transfers + final evaluate
+    # (the OT overlaps the first transfer, so it is off the critical path)
+    assert sched.makespan == pytest.approx(0.01 + 5 * 0.05 + 0.01, abs=1e-9)
+
+
+def test_fig5_pipeline_speedup_scales_with_cycles(benchmark):
+    """More cycles amortize the pipeline fill: speedup approaches the
+    three-stage bound."""
+    short = schedule([0.1] * 2, [0.1] * 2, [0.1] * 2)
+    long = benchmark(lambda: schedule([0.1] * 40, [0.1] * 40, [0.1] * 40))
+    assert long.speedup > short.speedup
+    assert long.speedup > 2.5

@@ -1,0 +1,60 @@
+"""Figure 6: expected processing delay vs client batch size.
+
+Generates the three curves, locates the crossovers, renders the log-log
+ASCII plot and asserts the paper's marked values (288 / 2590 / 8192).
+Also emits the Table 6-calibrated variant exposing the paper-internal
+inconsistency documented in DESIGN.md discrepancy #3.
+"""
+
+import pytest
+
+from repro.analysis import ascii_plot, compute_delay_curves, find_crossover
+from repro.baselines import CryptoNetsCostModel
+from repro.compile import CRYPTONETS_FIG6_LATENCY_S, CRYPTONETS_LATENCY_S
+
+from _bench_util import write_report
+
+
+def test_fig6_curves_and_crossovers(benchmark, results_dir):
+    curves = benchmark(compute_delay_curves)
+    text = (
+        ascii_plot(curves)
+        + f"\npaper marks: 288 / 2590 / 8192 (batch boundary)"
+    )
+    write_report(results_dir, "fig6_curves", text)
+    assert abs(curves.crossover_plain - 288) <= 2
+    assert abs(curves.crossover_preprocessed - 2590) <= 10
+
+
+def test_fig6_abstract_claim(benchmark, results_dir):
+    """Abstract: 'the best choice ... less than 2600 samples'."""
+    curves = benchmark(compute_delay_curves)
+    assert curves.crossover_preprocessed < 2600
+    assert curves.crossover_preprocessed > 2500
+
+
+def test_fig6_table6_calibration(benchmark, results_dir):
+    """With Table 6's 570.11 s flat line the crossovers land at 58/527 —
+    inconsistent with the figure's own marks by ~4.9x."""
+    cost = CryptoNetsCostModel(batch_latency_s=CRYPTONETS_LATENCY_S)
+    plain = benchmark(lambda: find_crossover(9.67, cost))
+    prep = find_crossover(1.08, cost)
+    ratio = CRYPTONETS_FIG6_LATENCY_S / CRYPTONETS_LATENCY_S
+    write_report(
+        results_dir,
+        "fig6_calibration_check",
+        f"crossovers with Table-6 latency (570.11 s): {plain} / {prep}\n"
+        f"crossovers with figure-consistent latency (~2790 s): 288 / 2590\n"
+        f"implied internal inconsistency factor: {ratio:.2f}x",
+    )
+    assert plain == 58 and prep == 527
+
+
+def test_fig6_linear_scaling(benchmark):
+    """DeepSecure's cost is strictly linear in batch size (no batching
+    cliffs) — the property that makes it the streaming-friendly choice."""
+    curves = benchmark(lambda: compute_delay_curves(max_samples=4096))
+    per_sample = [
+        delay / n for n, delay in zip(curves.samples, curves.deepsecure_plain)
+    ]
+    assert max(per_sample) - min(per_sample) < 1e-9

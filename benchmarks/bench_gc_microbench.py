@@ -1,0 +1,99 @@
+"""Sec. 4.3-4.4: GC performance characterization on this host.
+
+Measures our engine's per-gate garble/evaluate throughput (the paper's
+62/164 clk and 2.56M/5.11M gates/s figures on its testbed), verifies the
+alpha = 2 x 128 bit/non-XOR communication constant, and benchmarks the
+protocol phases end to end.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import build_gate_chain, characterize
+from repro.circuits import CircuitBuilder
+from repro.compile import PAPER_COEFFICIENTS
+from repro.gc import Evaluator, Garbler, execute
+from repro.gc.cipher import FixedKeyAES, HashKDF
+from repro.gc.ot import TEST_GROUP_512
+
+from _bench_util import write_report
+
+
+def test_throughput_characterization(benchmark, results_dir):
+    report = benchmark.pedantic(
+        lambda: characterize(n_gates=20000), rounds=1, iterations=1
+    )
+    text = (
+        f"host garbling engine (SHA-256 oracle, pure Python):\n"
+        f"  non-XOR throughput: {report.non_xor_per_s/1e3:.1f}k gates/s "
+        f"(paper: {PAPER_COEFFICIENTS.effective_non_xor_per_s/1e6:.2f}M)\n"
+        f"  XOR throughput:     {report.xor_per_s/1e3:.1f}k gates/s "
+        f"(paper: {PAPER_COEFFICIENTS.effective_xor_per_s/1e6:.2f}M)\n"
+        f"  slowdown vs paper's AES-NI C++: {report.slowdown_vs_paper:.0f}x\n"
+        f"  implied clks/gate at 3.4 GHz: XOR {report.coefficients.xor_clks:.0f} "
+        f"(paper 62), non-XOR {report.coefficients.non_xor_clks:.0f} (paper 164)"
+    )
+    write_report(results_dir, "gc_throughput", text)
+    assert report.non_xor_per_s > 5_000
+    assert report.xor_per_s > report.non_xor_per_s
+
+
+def test_garble_throughput(benchmark):
+    circuit = build_gate_chain(5000, "and")
+    rng = random.Random(0)
+
+    def garble():
+        return Garbler(circuit, rng=rng).garble()
+
+    garbled = benchmark(garble)
+    assert len(garbled.tables) == 5000
+
+
+def test_evaluate_throughput(benchmark):
+    circuit = build_gate_chain(5000, "and")
+    rng = random.Random(0)
+    garbler = Garbler(circuit, rng=rng)
+    garbled = garbler.garble()
+    alice = garbler.input_labels_for(list(circuit.alice_inputs), [1, 0])
+    bob = [garbler.labels.select(w, 1) for w in circuit.bob_inputs]
+    evaluator = Evaluator(circuit)
+    benchmark(lambda: evaluator.evaluate(garbled, alice, bob))
+
+
+def test_fixed_key_aes_backend_slower_but_correct(benchmark, results_dir):
+    """The paper-faithful AES backend: correctness at pure-Python speed."""
+    circuit = build_gate_chain(200, "and")
+    rng = random.Random(1)
+    kdf = FixedKeyAES()
+
+    def run():
+        garbler = Garbler(circuit, kdf=kdf, rng=rng)
+        garbled = garbler.garble()
+        evaluator = Evaluator(circuit, kdf=kdf)
+        alice = garbler.input_labels_for(list(circuit.alice_inputs), [1, 1])
+        bob = [garbler.labels.select(w, 0) for w in circuit.bob_inputs]
+        wires = evaluator.evaluate(garbled, alice, bob)
+        return garbler.decode_outputs(evaluator.output_labels(wires))
+
+    outputs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outputs == [0]  # AND chain with a zero input
+
+
+def test_alpha_constant(benchmark, results_dir):
+    """Eq. 4: every non-XOR gate costs exactly 2 x 128 transferred bits."""
+    rng = random.Random(2)
+    sizes = [100, 500, 1000]
+    rows = []
+    for n in sizes:
+        circuit = build_gate_chain(n, "and")
+        result = execute(circuit, [1, 0], [1, 1],
+                         ot_group=TEST_GROUP_512, rng=rng)
+        table_bytes = result.comm["tables"] - 4  # frame prefix
+        rows.append((n, table_bytes, table_bytes / n))
+        assert table_bytes == 32 * n
+    text = "\n".join(
+        f"non-XOR={n:>5}: tables={b:>7} B = {r:.0f} B/gate (alpha = 256 bit)"
+        for n, b, r in rows
+    )
+    write_report(results_dir, "gc_alpha_constant", text)

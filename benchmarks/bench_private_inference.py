@@ -1,0 +1,118 @@
+"""End-to-end private inference: the operational benchmark.
+
+Garbles, transfers, obliviously evaluates and merges a real compiled
+model — the full Fig. 3 flow — and reports wall time, per-phase split and
+communication.  Also covers the outsourced (Fig. 4) mode and asserts its
+overhead is free-XOR only (Sec. 3.3).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import FixedPointFormat
+from repro.compile import CompileOptions, compile_model
+from repro.gc import OutsourcedSession, execute, outsource_circuit
+from repro.gc.ot import TEST_GROUP_512
+from repro.nn import Dense, QuantizedModel, Sequential, Tanh, TrainConfig, Trainer
+
+from _bench_util import write_report
+
+FMT9 = FixedPointFormat(2, 6)
+
+
+@pytest.fixture(scope="module")
+def compiled_tiny():
+    rng = np.random.default_rng(7)
+    x = rng.uniform(-1, 1, size=(500, 12))
+    w = rng.normal(size=(12, 4))
+    y = (x @ w).argmax(axis=1)
+    model = Sequential([Dense(8), Tanh(), Dense(4)], input_shape=(12,), seed=1)
+    Trainer(model, TrainConfig(epochs=25, learning_rate=0.2)).fit(x, y)
+    quantized = QuantizedModel(model, FMT9, activation_variant="exact")
+    compiled = compile_model(
+        quantized, CompileOptions(activation="exact", output="argmax")
+    )
+    return compiled, quantized, x
+
+
+def test_private_inference_wall_time(benchmark, compiled_tiny, results_dir):
+    compiled, quantized, x = compiled_tiny
+    server_bits = compiled.server_bits()
+    rng = random.Random(0)
+
+    def infer():
+        return execute(
+            compiled.circuit,
+            compiled.client_bits(x[0]),
+            server_bits,
+            ot_group=TEST_GROUP_512,
+            rng=rng,
+        )
+
+    result = benchmark.pedantic(infer, rounds=3, iterations=1)
+    label = compiled.decode_output(result.outputs)
+    assert label == int(quantized.predict(x[0][None])[0])
+    counts = compiled.circuit.counts()
+    phases = ", ".join(f"{k}={v*1e3:.0f}ms" for k, v in result.times.items())
+    text = (
+        f"model 12-8-4 tanh (1.2.6 fixed point), argmax output\n"
+        f"circuit: {counts.xor} XOR + {counts.non_xor} non-XOR gates\n"
+        f"total comm: {result.total_comm_bytes/1e6:.2f} MB "
+        f"(tables {result.comm['tables']/1e6:.2f} MB)\n"
+        f"phases: {phases}\n"
+        f"single-thread wall time: {result.total_time:.2f} s"
+    )
+    write_report(results_dir, "private_inference", text)
+
+
+def test_inference_agreement_over_batch(benchmark, compiled_tiny):
+    """Simulated-circuit labels agree with the quantized reference for a
+    batch (full garbling per sample is covered above)."""
+    from repro.circuits import simulate
+
+    compiled, quantized, x = compiled_tiny
+    server_bits = compiled.server_bits()
+    benchmark.pedantic(
+        lambda: simulate(
+            compiled.circuit, compiled.client_bits(x[0]), server_bits
+        ),
+        rounds=1, iterations=1,
+    )
+    for k in range(12):
+        bits = simulate(compiled.circuit, compiled.client_bits(x[k]), server_bits)
+        assert compiled.decode_output(bits) == int(
+            quantized.predict(x[k][None])[0]
+        )
+
+
+def test_outsourcing_overhead(benchmark, compiled_tiny, results_dir):
+    """Sec. 3.3: outsourcing adds one XOR layer — zero garbled tables."""
+    compiled, quantized, x = compiled_tiny
+    transformed = benchmark(lambda: outsource_circuit(compiled.circuit))
+    base = compiled.circuit.counts()
+    out = transformed.counts()
+    text = (
+        f"direct circuit:    {base.xor} XOR + {base.non_xor} non-XOR\n"
+        f"outsourced:        {out.xor} XOR + {out.non_xor} non-XOR\n"
+        f"overhead: +{out.xor - base.xor} XOR (free), +{out.non_xor - base.non_xor} "
+        "garbled tables (paper: 'almost free of charge')"
+    )
+    write_report(results_dir, "outsourcing_overhead", text)
+    assert out.non_xor == base.non_xor
+    assert out.xor - base.xor <= compiled.circuit.n_alice
+
+
+def test_outsourced_inference_correct(benchmark, compiled_tiny):
+    compiled, quantized, x = compiled_tiny
+    session = OutsourcedSession(
+        compiled.circuit, ot_group=TEST_GROUP_512, rng=random.Random(3)
+    )
+    result = benchmark.pedantic(
+        lambda: session.run(compiled.client_bits(x[1]), compiled.server_bits()),
+        rounds=1, iterations=1,
+    )
+    assert compiled.decode_output(result.outputs) == int(
+        quantized.predict(x[1][None])[0]
+    )

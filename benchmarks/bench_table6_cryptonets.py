@@ -1,0 +1,108 @@
+"""Table 6: DeepSecure vs CryptoNets on benchmark 1 (per sample).
+
+Reproduces the published comparison — 58.96x without pre-processing,
+527.88x with — and exercises the actual HE-simulated CryptoNets pipeline
+(accuracy under noise budget, batching behaviour) on a scaled instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CryptoNetsCostModel,
+    CryptoNetsInference,
+    HEParams,
+    Square,
+)
+from repro.compile import (
+    CRYPTONETS_COMM_BYTES,
+    CRYPTONETS_LATENCY_S,
+    GCCostModel,
+    architecture_counts,
+)
+from repro.nn import Adam, Dense, Sequential, TrainConfig, Trainer, accuracy
+from repro.zoo import PAPER_ARCHITECTURES, PAPER_FOLDS
+
+from _bench_util import write_report
+
+
+def test_table6_comparison(benchmark, results_dir):
+    model = GCCostModel()
+    arch = PAPER_ARCHITECTURES["benchmark1"]
+
+    def compute():
+        plain = model.breakdown(architecture_counts(arch))
+        prep = model.breakdown(
+            architecture_counts(arch, mac_fold=PAPER_FOLDS["benchmark1"])
+        )
+        return plain, prep
+
+    plain, prep = benchmark(compute)
+    improvement_plain = CRYPTONETS_LATENCY_S / plain.execution_s
+    improvement_prep = CRYPTONETS_LATENCY_S / prep.execution_s
+    lines = [
+        f"{'framework':<28}{'comm':>12}{'comp s':>10}{'exec s':>10}{'improve':>10}",
+        f"{'DeepSecure w/o pre-p':<28}{plain.comm_mb:>10.1f}MB"
+        f"{plain.computation_s:>10.2f}{plain.execution_s:>10.2f}"
+        f"{improvement_plain:>9.2f}x",
+        f"{'DeepSecure w/ pre-p':<28}{prep.comm_mb:>10.1f}MB"
+        f"{prep.computation_s:>10.2f}{prep.execution_s:>10.2f}"
+        f"{improvement_prep:>9.2f}x",
+        f"{'CryptoNets':<28}{CRYPTONETS_COMM_BYTES/1024:>10.0f}KB"
+        f"{CRYPTONETS_LATENCY_S:>10.2f}{CRYPTONETS_LATENCY_S:>10.2f}{'-':>10}",
+        "paper improvements: 58.96x / 527.88x",
+    ]
+    write_report(results_dir, "table6_cryptonets", "\n".join(lines))
+    assert improvement_plain == pytest.approx(58.96, rel=0.01)
+    assert improvement_prep == pytest.approx(527.88, rel=0.02)
+
+
+def test_cryptonets_pipeline_runs(benchmark, results_dir):
+    """A real (simulated-HE) CryptoNets run on a scaled square net:
+    correctness with adequate noise budget, collapse without."""
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, size=(800, 16))
+    w = rng.normal(size=(16, 4))
+    y = (x @ w).argmax(axis=1)
+    model = Sequential(
+        [Dense(16, use_bias=True), Square(), Dense(4, use_bias=True)],
+        input_shape=(16,), seed=1,
+    )
+    Trainer(model, TrainConfig(epochs=120, batch_size=64),
+            optimizer=Adam(0.01)).fit(x, y)
+    plain_acc = accuracy(model.predict(x[:256]), y[:256])
+
+    good = CryptoNetsInference(
+        model, HEParams(poly_degree=256, initial_noise_bits=250.0)
+    )
+    tight = CryptoNetsInference(
+        model, HEParams(poly_degree=256, initial_noise_bits=55.0)
+    )
+    good_acc = accuracy(benchmark(lambda: good.predict(x[:256])), y[:256])
+    tight_acc = accuracy(tight.predict(x[:256]), y[:256])
+    budget = good.min_noise_budget(x[:256])
+    text = (
+        f"square-net plain accuracy:     {plain_acc:.3f}\n"
+        f"HE (budget 250 bits) accuracy: {good_acc:.3f} "
+        f"(residual budget {budget:.0f} bits)\n"
+        f"HE (budget  55 bits) accuracy: {tight_acc:.3f}  "
+        "<- the privacy/utility trade-off (limitation (i))"
+    )
+    write_report(results_dir, "table6_he_pipeline", text)
+    assert good_acc >= plain_acc - 0.06
+    assert tight_acc <= 0.6
+
+
+def test_batching_constant_cost(benchmark, results_dir):
+    """Limitation (iv): CryptoNets charges a full batch for one sample."""
+    cost = CryptoNetsCostModel()
+    benchmark(lambda: cost.delay_seconds(8192))
+    assert cost.delay_seconds(1) == cost.delay_seconds(8192)
+    assert cost.delay_seconds(8193) == pytest.approx(2 * cost.delay_seconds(1))
+    write_report(
+        results_dir,
+        "table6_batching",
+        f"CryptoNets delay: N=1 -> {cost.delay_seconds(1)}s, "
+        f"N=8192 -> {cost.delay_seconds(8192)}s, "
+        f"N=8193 -> {cost.delay_seconds(8193)}s (per-batch constant)",
+    )

@@ -1,0 +1,17 @@
+"""Benchmark-suite fixtures."""
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where benchmark harnesses write their report tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,92 @@
+"""DeepSecure reproduction: provably-secure deep-learning inference.
+
+Reproduces *DeepSecure: Scalable Provably-Secure Deep Learning*
+(Rouhani, Riazi, Koushanfar — DAC 2018): a garbled-circuit framework for
+private DL inference with GC-optimized layer circuits, sequential
+netlists, data-projection and network-pruning pre-processing, and secure
+outsourcing for constrained clients.
+
+Quick tour (see ``examples/quickstart.py`` for the runnable version)::
+
+    from repro.nn import Sequential, Dense, Tanh, Trainer, QuantizedModel
+    from repro.compile import compile_model, CompileOptions
+    from repro.gc import execute
+
+    model = Sequential([Dense(8), Tanh(), Dense(4)], input_shape=(12,))
+    Trainer(model).fit(x_train, y_train)
+    compiled = compile_model(QuantizedModel(model))
+    result = execute(compiled.circuit,
+                     compiled.client_bits(sample),      # Alice: private data
+                     compiled.server_bits())            # Bob: private weights
+    label = compiled.decode_output(result.outputs)
+
+Subpackages:
+
+* :mod:`repro.circuits` — Boolean netlists, GC-optimized arithmetic and
+  the Table 3 activation circuits (LUT / truncated / piecewise / CORDIC);
+* :mod:`repro.synthesis` — the GC cost library and optimization passes;
+* :mod:`repro.gc` — half-gates garbling, OT (+extension), the two-party
+  protocol, sequential garbling and XOR-share outsourcing;
+* :mod:`repro.nn` — numpy DL substrate with circuit-exact quantization;
+* :mod:`repro.data` — synthetic MNIST/ISOLET/DSA stand-ins;
+* :mod:`repro.preprocess` — Algorithm 1/2 projection and pruning;
+* :mod:`repro.compile` — model-to-netlist compiler and the Table 2 cost
+  model;
+* :mod:`repro.baselines` — CryptoNets over simulated leveled HE;
+* :mod:`repro.analysis` — throughput, Fig. 5 pipeline, Fig. 6 curves;
+* :mod:`repro.zoo` — the paper's four benchmarks.
+"""
+
+from . import (
+    analysis,
+    baselines,
+    circuits,
+    compile,
+    data,
+    gc,
+    nn,
+    preprocess,
+    synthesis,
+    zoo,
+)
+from .service import InferenceRecord, PrivateInferenceService
+from .errors import (
+    CircuitError,
+    CompileError,
+    GarblingError,
+    OTError,
+    PreprocessError,
+    ProtocolError,
+    QuantizationError,
+    ReproError,
+    SynthesisError,
+    TrainingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "circuits",
+    "synthesis",
+    "gc",
+    "nn",
+    "data",
+    "preprocess",
+    "compile",
+    "baselines",
+    "analysis",
+    "zoo",
+    "PrivateInferenceService",
+    "InferenceRecord",
+    "ReproError",
+    "CircuitError",
+    "SynthesisError",
+    "GarblingError",
+    "ProtocolError",
+    "OTError",
+    "QuantizationError",
+    "CompileError",
+    "TrainingError",
+    "PreprocessError",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Evaluation analysis: throughput characterization, Fig. 5 pipeline,
+Fig. 6 batch-delay crossover."""
+
+from .figure6 import DelayCurves, ascii_plot, compute_delay_curves, find_crossover
+from .throughput import ThroughputReport, build_gate_chain, characterize
+from .timeline import (
+    Interval,
+    PipelineSchedule,
+    ascii_gantt,
+    schedule,
+    schedule_from_result,
+)
+
+__all__ = [
+    "characterize",
+    "ThroughputReport",
+    "build_gate_chain",
+    "DelayCurves",
+    "compute_delay_curves",
+    "find_crossover",
+    "ascii_plot",
+    "schedule",
+    "schedule_from_result",
+    "PipelineSchedule",
+    "Interval",
+    "ascii_gantt",
+]

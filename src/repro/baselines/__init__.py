@@ -1,0 +1,14 @@
+"""Baselines the paper compares against (CryptoNets on simulated HE)."""
+
+from .cryptonets import CryptoNetsCostModel, CryptoNetsInference, Square
+from .he import HECiphertext, HEContext, HEParams, NoiseBudgetExhausted
+
+__all__ = [
+    "Square",
+    "CryptoNetsInference",
+    "CryptoNetsCostModel",
+    "HEParams",
+    "HEContext",
+    "HECiphertext",
+    "NoiseBudgetExhausted",
+]

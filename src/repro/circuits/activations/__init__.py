@@ -1,0 +1,88 @@
+"""GC-optimized activation-function circuits (paper Table 3).
+
+Every realization is registered in :data:`VARIANTS` under the exact name
+used in the paper's Table 3, so the synthesis report and the benchmark
+harness can enumerate them.
+"""
+
+from typing import Callable, Dict
+
+from ..builder import Bus, CircuitBuilder
+from ..fixedpoint import FixedPointFormat
+from .common import apply_odd_symmetry, apply_point_symmetry, split_magnitude
+from .cordic import (
+    CordicPlan,
+    cordic_sinh_cosh,
+    hyperbolic_plan,
+    rotate_reference,
+    sigmoid_cordic,
+    sigmoid_cordic_via_tanh,
+    sigmoid_reference,
+    sigmoid_via_tanh_reference,
+    tanh_cordic,
+    tanh_reference,
+)
+from .lut import (
+    lut_lookup,
+    sigmoid_lut,
+    sigmoid_truncated,
+    tanh_lut,
+    tanh_truncated,
+)
+from .piecewise import (
+    PiecewiseSpec,
+    Segment,
+    csd_digits,
+    fit_piecewise,
+    sigmoid_plan,
+    sigmoid_plan_spec,
+    tanh_piecewise,
+    tanh_pl_spec,
+)
+from .softmax import softmax_argmax, softmax_max_value, softmax_onehot
+
+#: Table 3 name -> circuit generator ``f(builder, x_bus, fmt) -> Bus``.
+VARIANTS: Dict[str, Callable] = {
+    "TanhLUT": tanh_lut,
+    "Tanh2.10.12": tanh_truncated,
+    "TanhPL": tanh_piecewise,
+    "TanhCORDIC": tanh_cordic,
+    "SigmoidLUT": sigmoid_lut,
+    "Sigmoid3.10.12": sigmoid_truncated,
+    "SigmoidPLAN": sigmoid_plan,
+    "SigmoidCORDIC": sigmoid_cordic,
+    "SigmoidCORDICviaTanh": sigmoid_cordic_via_tanh,
+}
+
+__all__ = [
+    "VARIANTS",
+    "CordicPlan",
+    "hyperbolic_plan",
+    "rotate_reference",
+    "cordic_sinh_cosh",
+    "tanh_cordic",
+    "sigmoid_cordic",
+    "sigmoid_cordic_via_tanh",
+    "tanh_reference",
+    "sigmoid_reference",
+    "sigmoid_via_tanh_reference",
+    "tanh_lut",
+    "sigmoid_lut",
+    "tanh_truncated",
+    "sigmoid_truncated",
+    "tanh_piecewise",
+    "sigmoid_plan",
+    "tanh_pl_spec",
+    "sigmoid_plan_spec",
+    "fit_piecewise",
+    "PiecewiseSpec",
+    "Segment",
+    "csd_digits",
+    "lut_lookup",
+    "softmax_argmax",
+    "softmax_max_value",
+    "softmax_onehot",
+    "split_magnitude",
+    "apply_odd_symmetry",
+    "apply_point_symmetry",
+]

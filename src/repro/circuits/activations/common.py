@@ -1,0 +1,56 @@
+"""Shared helpers for activation circuits: symmetry post-processing.
+
+The paper exploits that Sigmoid has a symmetry point at (0, 0.5) and Tanh
+is odd (Sec. 4.2), so every realization computes on ``|x|`` and fixes up
+the sign afterwards.  These helpers implement the two fix-ups.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..arith import absolute, conditional_negate
+from ..builder import Bus, CircuitBuilder
+
+__all__ = ["split_magnitude", "apply_odd_symmetry", "apply_point_symmetry"]
+
+
+def split_magnitude(
+    builder: CircuitBuilder, x: Sequence[int]
+) -> Tuple[int, Bus]:
+    """Split a signed bus into ``(sign_wire, magnitude_bus)``.
+
+    The magnitude drops the (always zero after :func:`absolute`) sign
+    position, so it is one bit narrower than the input.  The encoder's
+    symmetric saturation guarantees INT_MIN never occurs.
+    """
+    sign = x[-1]
+    magnitude = absolute(builder, x)[:-1]
+    return sign, magnitude
+
+
+def apply_odd_symmetry(
+    builder: CircuitBuilder, sign: int, y: Sequence[int]
+) -> Bus:
+    """Extend ``y = f(|x|)`` of an odd ``f`` back to signed inputs."""
+    return conditional_negate(builder, sign, y)
+
+
+def apply_point_symmetry(
+    builder: CircuitBuilder, sign: int, y: Sequence[int], frac_bits: int
+) -> Bus:
+    """Extend ``y = f(|x|)`` of a (0, 0.5)-symmetric ``f`` to signed inputs.
+
+    Computes ``sign ? 1 - y : y`` as a conditional negate followed by a
+    conditional increment at the position of 1.0 (``frac_bits``), which
+    costs one extra AND chain over the high bits only.
+    """
+    negated = conditional_negate(builder, sign, y)
+    out: Bus = list(negated[:frac_bits])
+    carry = sign
+    for i in range(frac_bits, len(negated)):
+        bit = negated[i]
+        out.append(builder.emit_xor(bit, carry))
+        if i != len(negated) - 1:
+            carry = builder.emit_and(bit, carry)
+    return out

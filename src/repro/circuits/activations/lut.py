@@ -1,0 +1,204 @@
+"""Look-up-table activation circuits (``TanhLUT`` / ``SigmoidLUT``).
+
+A LUT over ``k`` secret select bits is a ``k``-level tree of word muxes
+whose leaves are public constants.  Two structural facts keep it from
+exploding (and are what the paper's synthesis flow exploits):
+
+* the first mux level chooses between constant bits, which folds to a
+  wire, its complement, or a constant — all free;
+* equal subtrees (e.g. the saturated tail of tanh, where every entry is
+  1.0) are deduplicated by the builder's structural hashing.
+
+Both symmetries from the paper (Sec. 4.2) are applied: Tanh is odd
+(``y(-x) = -y(x)``) and Sigmoid is point-symmetric about (0, 0.5)
+(``y(-x) = 1 - y(x)``), so tables only cover ``x >= 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence
+
+from ...errors import CircuitError
+from ..arith import shift_right_logic_const
+from ..builder import Bus, CircuitBuilder
+from ..fixedpoint import FixedPointFormat
+from ..logic import mux_many
+from .common import apply_odd_symmetry, apply_point_symmetry, split_magnitude
+
+__all__ = [
+    "lut_lookup",
+    "tanh_lut",
+    "sigmoid_lut",
+    "tanh_truncated",
+    "sigmoid_truncated",
+]
+
+
+def lut_lookup(
+    builder: CircuitBuilder,
+    select: Sequence[int],
+    table: Sequence[int],
+    out_width: int,
+) -> Bus:
+    """Select ``table[select]`` with a mux tree over constant words.
+
+    Args:
+        builder: target builder.
+        select: LSB-first secret select bus (``k`` bits).
+        table: ``2**k`` unsigned word values (two's-complement patterns).
+        out_width: width of each table word in bits.
+
+    Returns:
+        The selected word as a bus.
+    """
+    if len(table) != 1 << len(select):
+        raise CircuitError(
+            f"table needs {1 << len(select)} entries, got {len(table)}"
+        )
+    options = [builder.constant_bus(value, out_width) for value in table]
+    return mux_many(builder, list(select), options)
+
+
+def _positive_table(
+    fn: Callable[[float], float],
+    in_fmt: FixedPointFormat,
+    out_fmt: FixedPointFormat,
+    index_bits: int,
+    index_shift: int,
+) -> List[int]:
+    """Tabulate ``fn`` on non-negative inputs ``i << index_shift``."""
+    table = []
+    for i in range(1 << index_bits):
+        x = (i << index_shift) / in_fmt.scale
+        pattern = out_fmt.to_unsigned(out_fmt.encode(fn(x)))
+        table.append(pattern)
+    return table
+
+
+def _saturate_magnitude(
+    builder: CircuitBuilder, mag: Bus, keep_bits: int
+) -> Bus:
+    """Clamp an unsigned magnitude to ``2**keep_bits - 1``.
+
+    Used by the truncated variants: the paper's ``Tanh 2.10.12`` sets the
+    output to 1 for any ``x > 4`` by dropping the top integer bit after a
+    saturating OR of the discarded high bits into the kept ones.
+    """
+    high = mag[keep_bits:]
+    if not high:
+        return list(mag)
+    overflow = high[0]
+    for wire in high[1:]:
+        overflow = builder.emit_or(overflow, wire)
+    # kept bits become all-ones when any high bit is set
+    return [builder.emit_or(bit, overflow) for bit in mag[:keep_bits]]
+
+
+def _odd_symmetric_lut(
+    builder: CircuitBuilder,
+    x: Sequence[int],
+    fn: Callable[[float], float],
+    in_fmt: FixedPointFormat,
+    out_fmt: FixedPointFormat,
+    drop_low_bits: int = 0,
+    drop_high_bits: int = 0,
+) -> Bus:
+    """LUT for an odd function using ``y(-x) = -y(x)``."""
+    sign, mag = split_magnitude(builder, x)
+    if drop_low_bits:
+        mag = shift_right_logic_const(builder, mag, drop_low_bits)[
+            : len(mag) - drop_low_bits
+        ]
+    keep = len(mag) - drop_high_bits
+    if drop_high_bits:
+        mag = _saturate_magnitude(builder, mag, keep)
+    table = _positive_table(fn, in_fmt, out_fmt, keep, drop_low_bits)
+    y = lut_lookup(builder, mag, table, out_fmt.width)
+    return apply_odd_symmetry(builder, sign, y)
+
+
+def _point_symmetric_lut(
+    builder: CircuitBuilder,
+    x: Sequence[int],
+    fn: Callable[[float], float],
+    in_fmt: FixedPointFormat,
+    out_fmt: FixedPointFormat,
+    drop_low_bits: int = 0,
+    drop_high_bits: int = 0,
+) -> Bus:
+    """LUT for a function with ``y(-x) = 1 - y(x)`` (sigmoid family)."""
+    sign, mag = split_magnitude(builder, x)
+    if drop_low_bits:
+        mag = shift_right_logic_const(builder, mag, drop_low_bits)[
+            : len(mag) - drop_low_bits
+        ]
+    keep = len(mag) - drop_high_bits
+    if drop_high_bits:
+        mag = _saturate_magnitude(builder, mag, keep)
+    table = _positive_table(fn, in_fmt, out_fmt, keep, drop_low_bits)
+    y = lut_lookup(builder, mag, table, out_fmt.width)
+    return apply_point_symmetry(builder, sign, y, out_fmt.frac_bits)
+
+
+def tanh_lut(
+    builder: CircuitBuilder,
+    x: Sequence[int],
+    fmt: FixedPointFormat,
+) -> Bus:
+    """``TanhLUT``: exact table over the full input domain (error 0)."""
+    return _odd_symmetric_lut(builder, x, math.tanh, fmt, fmt)
+
+
+def tanh_truncated(
+    builder: CircuitBuilder,
+    x: Sequence[int],
+    fmt: FixedPointFormat,
+    drop_low_bits: int = 2,
+    drop_high_bits: int = 1,
+) -> Bus:
+    """``Tanh 2.10.12``: drop 2 LSBs and the top integer bit of ``x``.
+
+    Inputs above the reduced range saturate (``tanh(x) = 1`` for x > 4),
+    reproducing the paper's 0.01%-error variant at a fraction of the
+    full-LUT cost.
+    """
+    return _odd_symmetric_lut(
+        builder,
+        x,
+        math.tanh,
+        fmt,
+        fmt,
+        drop_low_bits=drop_low_bits,
+        drop_high_bits=drop_high_bits,
+    )
+
+
+def sigmoid_lut(
+    builder: CircuitBuilder,
+    x: Sequence[int],
+    fmt: FixedPointFormat,
+) -> Bus:
+    """``SigmoidLUT``: exact table over the full input domain (error 0)."""
+    return _point_symmetric_lut(
+        builder, x, lambda v: 1.0 / (1.0 + math.exp(-v)), fmt, fmt
+    )
+
+
+def sigmoid_truncated(
+    builder: CircuitBuilder,
+    x: Sequence[int],
+    fmt: FixedPointFormat,
+    drop_low_bits: int = 2,
+    drop_high_bits: int = 0,
+) -> Bus:
+    """``Sigmoid 3.10.12``: keep all 3 integer bits, drop 2 LSBs."""
+    return _point_symmetric_lut(
+        builder,
+        x,
+        lambda v: 1.0 / (1.0 + math.exp(-v)),
+        fmt,
+        fmt,
+        drop_low_bits=drop_low_bits,
+        drop_high_bits=drop_high_bits,
+    )

@@ -1,0 +1,40 @@
+"""Softmax output layer as a secure argmax.
+
+Softmax is monotonically increasing, so it never changes which output
+unit is maximal; DeepSecure therefore replaces it with a CMP/MUX argmax
+tree (paper Sec. 4.2, Table 3 row ``Softmax_n``: ``(n-1)`` stages).
+Both the value-only variant (the one Table 3 prices) and the
+index-returning variant (what an inference service actually reveals)
+are provided.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..builder import Bus, CircuitBuilder
+from ..logic import argmax_tree, max_tree, one_hot_from_index
+
+__all__ = ["softmax_max_value", "softmax_argmax", "softmax_onehot"]
+
+
+def softmax_max_value(
+    builder: CircuitBuilder, logits: Sequence[Bus]
+) -> Bus:
+    """Maximum logit value ((n-1) CMP+MUX stages, Table 3's Softmax)."""
+    return max_tree(builder, logits, signed=True)
+
+
+def softmax_argmax(
+    builder: CircuitBuilder, logits: Sequence[Bus]
+) -> Tuple[Bus, Bus]:
+    """Argmax index and value of the logits (inference label)."""
+    return argmax_tree(builder, logits, signed=True)
+
+
+def softmax_onehot(
+    builder: CircuitBuilder, logits: Sequence[Bus]
+) -> List[int]:
+    """One-hot encoded inference label (n single-bit outputs)."""
+    index, _ = argmax_tree(builder, logits, signed=True)
+    return one_hot_from_index(builder, index, len(logits))

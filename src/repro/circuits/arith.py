@@ -1,0 +1,526 @@
+"""GC-optimized arithmetic blocks.
+
+Every construction here minimizes the number of non-XOR gates, since under
+free-XOR only those need garbled tables (paper Sec. 3.4).  Reference
+costs for ``n``-bit operands (non-XOR gates, as produced by these
+generators with structural hashing on):
+
+====================  =======================  =========================
+block                 non-XOR                  notes
+====================  =======================  =========================
+adder                 n (n-1 without cout)     1 AND per full-adder cell
+subtractor            n                        adder with ~b, cin=1
+comparator (LT)       n                        borrow chain only
+equality              2n-1                     n XNOR free, n-1 AND tree
+2:1 word mux          n                        1 AND per bit
+conditional negate    n                        increment via AND chain
+multiplier (signed)   ~2n^2                    Baugh-Wooley style array
+divider (restoring)   ~2n^2                    n subtract/mux iterations
+ReLU                  n-1                      sign-bit mux, MSB folded
+====================  =======================  =========================
+
+All buses are LSB-first lists of wire ids.  Signed values use two's
+complement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import CircuitError
+from .builder import Bus, CircuitBuilder
+
+__all__ = [
+    "ripple_add",
+    "ripple_sub",
+    "negate",
+    "increment",
+    "less_than",
+    "less_than_signed",
+    "equals",
+    "conditional_add_sub",
+    "conditional_negate",
+    "clamp_signed",
+    "saturate_to_width",
+    "multiply_accumulate",
+    "absolute",
+    "shift_left_const",
+    "shift_right_arith_const",
+    "shift_right_logic_const",
+    "multiply_unsigned",
+    "multiply_signed",
+    "multiply_fixed",
+    "multiply_fixed_full",
+    "divide_unsigned",
+    "divide_signed",
+    "relu",
+    "maximum",
+    "minimum",
+    "sign_extend",
+    "truncate",
+]
+
+
+def _full_adder(
+    builder: CircuitBuilder, a: int, b: int, cin: int
+) -> Tuple[int, int]:
+    """One GC-optimized full-adder cell: 1 AND, rest XOR.
+
+    ``sum = a ^ b ^ cin``; ``cout = ((a ^ cin) & (b ^ cin)) ^ cin``.
+    """
+    axc = builder.emit_xor(a, cin)
+    bxc = builder.emit_xor(b, cin)
+    total = builder.emit_xor(axc, b)
+    carry = builder.emit_xor(builder.emit_and(axc, bxc), cin)
+    return total, carry
+
+
+def ripple_add(
+    builder: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    cin: Optional[int] = None,
+    with_cout: bool = False,
+) -> Bus:
+    """Ripple-carry addition of two equal-width buses.
+
+    Args:
+        builder: target builder.
+        a: first addend, LSB first.
+        b: second addend.
+        cin: optional carry-in wire (defaults to constant 0).
+        with_cout: append the carry-out as the final (extra) bit.
+
+    Returns:
+        Sum bus of width ``len(a)`` (+1 when ``with_cout``).
+    """
+    if len(a) != len(b):
+        raise CircuitError("adder operands must have equal width")
+    carry = cin if cin is not None else builder.zero
+    out: Bus = []
+    for bit_a, bit_b in zip(a, b):
+        total, carry = _full_adder(builder, bit_a, bit_b, carry)
+        out.append(total)
+    if with_cout:
+        out.append(carry)
+    return out
+
+
+def ripple_sub(
+    builder: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    with_borrow: bool = False,
+) -> Bus:
+    """Two's-complement subtraction ``a - b``.
+
+    Implemented as ``a + ~b + 1``.  With ``with_borrow`` the final extra
+    bit is the *borrow* (1 when ``a < b`` unsigned), i.e. the complement of
+    the adder's carry-out.
+    """
+    not_b = builder.emit_not_bus(b)
+    result = ripple_add(builder, a, not_b, cin=builder.one, with_cout=with_borrow)
+    if with_borrow:
+        result[-1] = builder.emit_not(result[-1])
+    return result
+
+
+def negate(builder: CircuitBuilder, a: Sequence[int]) -> Bus:
+    """Two's-complement negation ``-a`` (same width, wraps on INT_MIN)."""
+    return increment(builder, builder.emit_not_bus(a))
+
+
+def increment(builder: CircuitBuilder, a: Sequence[int]) -> Bus:
+    """``a + 1`` via a half-adder chain (n-1 AND gates)."""
+    carry = builder.one
+    out: Bus = []
+    for i, bit in enumerate(a):
+        out.append(builder.emit_xor(bit, carry))
+        if i != len(a) - 1:
+            carry = builder.emit_and(bit, carry)
+    return out
+
+
+def less_than(
+    builder: CircuitBuilder, a: Sequence[int], b: Sequence[int]
+) -> int:
+    """Unsigned comparison ``a < b`` using only the borrow chain.
+
+    Costs ``n`` AND gates and no sum bits, which is why the paper's
+    Softmax/argmax stage is so cheap.
+    """
+    if len(a) != len(b):
+        raise CircuitError("comparator operands must have equal width")
+    carry = builder.one  # carry-in of a + ~b + 1
+    for bit_a, bit_b in zip(a, b):
+        not_b = builder.emit_not(bit_b)
+        axc = builder.emit_xor(bit_a, carry)
+        bxc = builder.emit_xor(not_b, carry)
+        carry = builder.emit_xor(builder.emit_and(axc, bxc), carry)
+    return builder.emit_not(carry)
+
+
+def less_than_signed(
+    builder: CircuitBuilder, a: Sequence[int], b: Sequence[int]
+) -> int:
+    """Signed (two's complement) comparison ``a < b``.
+
+    Flips both sign bits and compares unsigned; the flips are free NOTs.
+    """
+    if not a:
+        raise CircuitError("cannot compare empty buses")
+    a_flip = list(a[:-1]) + [builder.emit_not(a[-1])]
+    b_flip = list(b[:-1]) + [builder.emit_not(b[-1])]
+    return less_than(builder, a_flip, b_flip)
+
+
+def equals(builder: CircuitBuilder, a: Sequence[int], b: Sequence[int]) -> int:
+    """Equality of two buses: free XNORs plus an AND tree."""
+    if len(a) != len(b):
+        raise CircuitError("equality operands must have equal width")
+    bits = [builder.emit_xnor(x, y) for x, y in zip(a, b)]
+    while len(bits) > 1:
+        nxt = []
+        for i in range(0, len(bits) - 1, 2):
+            nxt.append(builder.emit_and(bits[i], bits[i + 1]))
+        if len(bits) % 2:
+            nxt.append(bits[-1])
+        bits = nxt
+    return bits[0] if bits else builder.one
+
+
+def conditional_add_sub(
+    builder: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    sub: int,
+) -> Bus:
+    """Return ``a - b`` when ``sub`` is 1, else ``a + b`` (one adder).
+
+    The subtraction flag conditionally complements ``b`` via free XORs and
+    feeds the carry-in, so add-or-subtract costs the same ``n`` AND gates
+    as a plain adder.  This is the workhorse of the CORDIC datapath, where
+    the rotation direction is a secret sign bit.
+    """
+    flipped = [builder.emit_xor(bit, sub) for bit in b]
+    return ripple_add(builder, list(a), flipped, cin=sub)
+
+
+def conditional_negate(
+    builder: CircuitBuilder, sel: int, a: Sequence[int]
+) -> Bus:
+    """Return ``sel ? -a : a`` using the XOR/increment trick.
+
+    ``-a = ~a + 1``; conditionally complement with XOR against ``sel``
+    (free) then add ``sel`` as carry-in (n-1 AND gates).
+    """
+    flipped = [builder.emit_xor(bit, sel) for bit in a]
+    carry = sel
+    out: Bus = []
+    for i, bit in enumerate(flipped):
+        out.append(builder.emit_xor(bit, carry))
+        if i != len(flipped) - 1:
+            carry = builder.emit_and(bit, carry)
+    return out
+
+
+def absolute(builder: CircuitBuilder, a: Sequence[int]) -> Bus:
+    """Two's-complement absolute value (undefined only for INT_MIN)."""
+    return conditional_negate(builder, a[-1], a)
+
+
+def sign_extend(builder: CircuitBuilder, a: Sequence[int], width: int) -> Bus:
+    """Extend a signed bus to ``width`` bits by repeating the sign wire."""
+    if width < len(a):
+        raise CircuitError("sign_extend target narrower than source")
+    return list(a) + [a[-1]] * (width - len(a))
+
+
+def truncate(a: Sequence[int], width: int) -> Bus:
+    """Keep the low ``width`` bits of a bus (pure rewiring, zero gates)."""
+    if width > len(a):
+        raise CircuitError("truncate target wider than source")
+    return list(a[:width])
+
+
+def shift_left_const(
+    builder: CircuitBuilder, a: Sequence[int], amount: int
+) -> Bus:
+    """Logical left shift by a public constant (pure rewiring)."""
+    if amount < 0:
+        raise CircuitError("shift amount must be non-negative")
+    amount = min(amount, len(a))
+    return [builder.zero] * amount + list(a[: len(a) - amount])
+
+
+def shift_right_logic_const(
+    builder: CircuitBuilder, a: Sequence[int], amount: int
+) -> Bus:
+    """Logical right shift by a public constant (pure rewiring)."""
+    if amount < 0:
+        raise CircuitError("shift amount must be non-negative")
+    amount = min(amount, len(a))
+    return list(a[amount:]) + [builder.zero] * amount
+
+
+def shift_right_arith_const(
+    builder: CircuitBuilder, a: Sequence[int], amount: int
+) -> Bus:
+    """Arithmetic right shift by a public constant (pure rewiring)."""
+    if amount < 0:
+        raise CircuitError("shift amount must be non-negative")
+    if not a:
+        return []
+    amount = min(amount, len(a) - 1)
+    return list(a[amount:]) + [a[-1]] * amount
+
+
+def multiply_unsigned(
+    builder: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    max_width: Optional[int] = None,
+) -> Bus:
+    """Unsigned array multiplier; returns the full ``len(a)+len(b)`` bits.
+
+    Shift-add rows of AND partial products accumulated with ripple adders.
+
+    Args:
+        builder: target builder.
+        a: multiplicand (LSB first).
+        b: multiplier.
+        max_width: when set, product bits at positions >= max_width are
+            not computed (exact modulo ``2**max_width``), trimming gates
+            for fixed-point truncating multiplies.
+    """
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return []
+    full = n + m
+    limit = full if max_width is None else min(max_width, full)
+    acc: Bus = [builder.emit_and(bit_a, b[0]) for bit_a in a]
+    low_bits: Bus = [acc[0]]
+    acc = acc[1:]
+    for j in range(1, m):
+        room = limit - j  # product bits still representable above position j
+        row = [builder.emit_and(a[i], b[j]) for i in range(min(n, room))]
+        width = min(max(len(acc), len(row)), room)
+        lhs = (list(acc) + [builder.zero] * width)[:width]
+        rhs = (list(row) + [builder.zero] * width)[:width]
+        total = ripple_add(builder, lhs, rhs, with_cout=(width < room))
+        if total:
+            low_bits.append(total[0])
+        acc = total[1:]
+    product = (low_bits + acc)[:limit]
+    return product + [builder.zero] * (full - len(product))
+
+
+def multiply_signed(
+    builder: CircuitBuilder, a: Sequence[int], b: Sequence[int]
+) -> Bus:
+    """Signed (two's complement) multiplier with full-width output.
+
+    Uses the sign/magnitude decomposition: ``|a| * |b|`` through the
+    unsigned array, then a conditional negate driven by the XOR of the
+    sign bits.  This is the "enhanced ... signed input data" realization
+    the paper contrasts with TinyGarble's unsigned matrix-vector product.
+    """
+    if not a or not b:
+        return []
+    sign = builder.emit_xor(a[-1], b[-1])
+    mag = multiply_unsigned(builder, absolute(builder, a), absolute(builder, b))
+    return conditional_negate(builder, sign, mag)
+
+
+def multiply_accumulate(
+    builder: CircuitBuilder,
+    acc: Sequence[int],
+    a: Sequence[int],
+    b: Sequence[int],
+    frac_bits: int,
+) -> Bus:
+    """One fixed-point MAC step: ``acc + (a * b >> frac_bits)``.
+
+    This is the folded cell of the paper's sequential matrix-vector
+    multiplier (Sec. 3.5): one MULT, one ADD and an accumulator register.
+    The accumulator keeps its (wider) width to absorb sum growth.
+    """
+    product = multiply_fixed(builder, a, b, frac_bits)
+    widened = sign_extend(builder, product, len(acc))
+    return ripple_add(builder, list(acc), widened)
+
+
+def multiply_fixed(
+    builder: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    frac_bits: int,
+) -> Bus:
+    """Fixed-point signed multiply returning ``len(a)`` bits.
+
+    The product is shifted right by ``frac_bits`` (free rewiring) and
+    truncated back to the operand width, matching the paper's 16-bit
+    (1.3.12) number format.  Computed as ``|a|*|b|`` with the array
+    trimmed to the bits that survive truncation, then a conditional
+    negate on the narrow result (valid because two's-complement
+    negation commutes with reduction mod ``2**width``).
+    """
+    if not a or not b:
+        return []
+    width = len(a)
+    sign = builder.emit_xor(a[-1], b[-1])
+    mag = multiply_unsigned(
+        builder,
+        absolute(builder, a),
+        absolute(builder, b),
+        max_width=frac_bits + width,
+    )
+    shifted = truncate(shift_right_logic_const(builder, mag, frac_bits), width)
+    return conditional_negate(builder, sign, shifted)
+
+
+def multiply_fixed_full(
+    builder: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    frac_bits: int,
+) -> Bus:
+    """Fixed-point signed multiply *without* output truncation.
+
+    Returns ``len(a) + len(b) - frac_bits`` bits, enough to hold any
+    product of the operands — what a wide MAC accumulator consumes
+    before the final saturation (overflow-free, matching
+    :func:`repro.nn.quantize.fixed_mul`).
+    """
+    if not a or not b:
+        return []
+    width = len(a) + len(b) - frac_bits
+    sign = builder.emit_xor(a[-1], b[-1])
+    mag = multiply_unsigned(builder, absolute(builder, a), absolute(builder, b))
+    shifted = truncate(shift_right_logic_const(builder, mag, frac_bits), width)
+    return conditional_negate(builder, sign, shifted)
+
+
+def divide_unsigned(
+    builder: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    n_frac: int = 0,
+) -> Bus:
+    """Restoring division ``(a << n_frac) / b`` for unsigned buses.
+
+    ``n_frac`` extra iterations produce fractional quotient bits, which is
+    how the CORDIC Tanh obtains ``sinh/cosh`` in fixed point.  Division by
+    zero yields the all-ones quotient (hardware convention).
+
+    Returns:
+        Quotient bus of width ``len(a) + n_frac``.
+    """
+    n = len(a)
+    total_steps = n + n_frac
+    width = n + 1  # remainder width: one guard bit
+    remainder: Bus = [builder.zero] * width
+    dividend = list(a)
+    quotient: List[int] = []
+    for step in range(total_steps):
+        # shift remainder left by one, bring in next dividend bit (or 0)
+        next_bit = dividend[n - 1 - step] if step < n else builder.zero
+        remainder = [next_bit] + remainder[:-1]
+        trial = ripple_sub(
+            builder,
+            remainder,
+            list(b) + [builder.zero] * (width - len(b)),
+            with_borrow=True,
+        )
+        borrow = trial[-1]
+        keep = builder.emit_not(borrow)  # 1 when subtraction succeeded
+        remainder = builder.emit_mux_bus(keep, trial[:-1], remainder)
+        quotient.append(keep)
+    quotient.reverse()
+    return quotient
+
+
+def divide_signed(
+    builder: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    n_frac: int = 0,
+) -> Bus:
+    """Signed division via magnitudes plus a conditional negate."""
+    sign = builder.emit_xor(a[-1], b[-1])
+    quotient = divide_unsigned(
+        builder, absolute(builder, a), absolute(builder, b), n_frac=n_frac
+    )
+    return conditional_negate(builder, sign, quotient)
+
+
+def clamp_signed(builder: CircuitBuilder, a: Sequence[int], limit: int) -> Bus:
+    """Clamp a signed bus to ``[-limit, limit]`` (two CMP+MUX pairs).
+
+    Used for saturating wide accumulators back to the I/O width and for
+    clamping CORDIC angles into the convergence domain.
+    """
+    width = len(a)
+    mask = (1 << width) - 1
+    hi = builder.constant_bus(limit & mask, width)
+    lo = builder.constant_bus((-limit) & mask, width)
+    out = list(a)
+    above = less_than_signed(builder, hi, out)
+    out = builder.emit_mux_bus(above, hi, out)
+    below = less_than_signed(builder, out, lo)
+    return builder.emit_mux_bus(below, lo, out)
+
+
+def saturate_to_width(
+    builder: CircuitBuilder, a: Sequence[int], width: int
+) -> Bus:
+    """Symmetric saturation of a wide signed bus to ``width`` bits.
+
+    Matches :func:`repro.nn.quantize.saturate`: values outside
+    ``+-(2**(width-1) - 1)`` clamp to the bound.
+    """
+    if len(a) <= width:
+        return sign_extend(builder, a, width)
+    clamped = clamp_signed(builder, a, (1 << (width - 1)) - 1)
+    return truncate(clamped, width)
+
+
+def relu(builder: CircuitBuilder, a: Sequence[int]) -> Bus:
+    """Rectified linear unit: ``max(0, a)`` for a signed bus.
+
+    A single sign-bit-driven mux against zero; with constant folding this
+    is ``n-1`` AND gates because the output MSB is always 0, matching the
+    paper's 15 non-XOR for 16-bit ReLu.
+    """
+    if not a:
+        return []
+    keep = builder.emit_not(a[-1])  # 1 when a >= 0
+    out = [builder.emit_and(bit, keep) for bit in a[:-1]]
+    out.append(builder.zero)
+    return out
+
+
+def maximum(
+    builder: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    signed: bool = True,
+) -> Bus:
+    """Word-level max via one comparator and one mux (2n non-XOR)."""
+    a_lt_b = (
+        less_than_signed(builder, a, b) if signed else less_than(builder, a, b)
+    )
+    return builder.emit_mux_bus(a_lt_b, list(b), list(a))
+
+
+def minimum(
+    builder: CircuitBuilder,
+    a: Sequence[int],
+    b: Sequence[int],
+    signed: bool = True,
+) -> Bus:
+    """Word-level min via one comparator and one mux."""
+    a_lt_b = (
+        less_than_signed(builder, a, b) if signed else less_than(builder, a, b)
+    )
+    return builder.emit_mux_bus(a_lt_b, list(a), list(b))

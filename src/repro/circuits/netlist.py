@@ -1,0 +1,243 @@
+"""Netlist container: wires, gates, inputs and outputs.
+
+A :class:`Circuit` is the unit everything else in this package consumes:
+the plaintext simulator, the synthesis passes, the gate-count reports and
+the garbling engine all walk the same structure.  Gates are stored in
+topological order by construction (the builder only references wires that
+already exist), mirroring the paper's requirement that "all gates in the
+circuit have to be topologically sorted which creates a list of gates
+called netlist" (Sec. 2.2.2).
+
+Wire numbering convention::
+
+    0                      constant-zero wire (always present)
+    1                      constant-one wire (always present)
+    2 .. 2+n_alice-1       Alice's (garbler / client) input wires
+    ..  + n_bob            Bob's (evaluator / server) input wires
+    ..  + n_state          register state wires (sequential circuits)
+    remaining              internal gate outputs
+
+Outputs are an ordered list of wire ids (duplicates allowed).  State
+wires belong to neither party: in sequential garbling their labels are
+carried over from the previous clock cycle (TinyGarble-style).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CircuitError
+from .gates import Gate, GateType
+
+__all__ = ["Circuit", "GateCounts", "CONST_ZERO", "CONST_ONE"]
+
+CONST_ZERO = 0
+CONST_ONE = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class GateCounts:
+    """Inventory of a netlist in the paper's accounting units.
+
+    ``xor`` counts free gates (XOR/XNOR/NOT/BUF), ``non_xor`` counts gates
+    that need a garbled table.  These are the quantities reported in the
+    paper's Tables 3-5.
+    """
+
+    xor: int
+    non_xor: int
+
+    @property
+    def total(self) -> int:
+        """Total number of gates."""
+        return self.xor + self.non_xor
+
+    def __add__(self, other: "GateCounts") -> "GateCounts":
+        return GateCounts(self.xor + other.xor, self.non_xor + other.non_xor)
+
+    def scaled(self, k: int) -> "GateCounts":
+        """Counts for ``k`` replicas of this circuit."""
+        return GateCounts(self.xor * k, self.non_xor * k)
+
+
+class Circuit:
+    """An immutable-by-convention Boolean netlist.
+
+    Use :class:`repro.circuits.builder.CircuitBuilder` to construct one;
+    direct mutation after :meth:`validate` is discouraged.
+    """
+
+    def __init__(
+        self,
+        n_alice: int,
+        n_bob: int,
+        gates: List[Gate],
+        outputs: List[int],
+        n_wires: int,
+        name: str = "circuit",
+        input_names: Optional[Dict[str, List[int]]] = None,
+        output_names: Optional[Dict[str, List[int]]] = None,
+        n_state: int = 0,
+    ) -> None:
+        self.n_alice = n_alice
+        self.n_bob = n_bob
+        self.n_state = n_state
+        self.gates = gates
+        self.outputs = outputs
+        self.n_wires = n_wires
+        self.name = name
+        #: named groups of input wires (e.g. {"x": [...], "w": [...]})
+        self.input_names: Dict[str, List[int]] = input_names or {}
+        #: named groups of output wires
+        self.output_names: Dict[str, List[int]] = output_names or {}
+
+    # -- wire ranges -----------------------------------------------------
+
+    @property
+    def alice_inputs(self) -> range:
+        """Wire ids carrying the garbler's (client's) input bits."""
+        return range(2, 2 + self.n_alice)
+
+    @property
+    def bob_inputs(self) -> range:
+        """Wire ids carrying the evaluator's (server's) input bits."""
+        return range(2 + self.n_alice, 2 + self.n_alice + self.n_bob)
+
+    @property
+    def state_inputs(self) -> range:
+        """Wire ids carrying register state (sequential circuits only)."""
+        base = 2 + self.n_alice + self.n_bob
+        return range(base, base + self.n_state)
+
+    @property
+    def n_inputs(self) -> int:
+        """Total driven-from-outside bits: both parties plus state."""
+        return self.n_alice + self.n_bob + self.n_state
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of output bits."""
+        return len(self.outputs)
+
+    # -- accounting ------------------------------------------------------
+
+    def counts(self) -> GateCounts:
+        """Count free vs non-free gates (the paper's XOR / non-XOR)."""
+        non_xor = sum(1 for g in self.gates if not g.op.is_free)
+        return GateCounts(xor=len(self.gates) - non_xor, non_xor=non_xor)
+
+    def histogram(self) -> Dict[GateType, int]:
+        """Per-gate-type histogram, for synthesis reports."""
+        hist: Dict[GateType, int] = {}
+        for gate in self.gates:
+            hist[gate.op] = hist.get(gate.op, 0) + 1
+        return hist
+
+    # -- structural checks -----------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural well-formedness.
+
+        Raises:
+            CircuitError: on dangling wires, out-of-order definitions,
+                multiply-driven wires or out-of-range outputs.
+        """
+        defined = bytearray(self.n_wires)
+        for wire in range(2 + self.n_inputs):
+            defined[wire] = 1
+        for idx, gate in enumerate(self.gates):
+            for src in gate.inputs():
+                if src < 0 or src >= self.n_wires:
+                    raise CircuitError(
+                        f"gate {idx} reads out-of-range wire {src}"
+                    )
+                if not defined[src]:
+                    raise CircuitError(
+                        f"gate {idx} reads wire {src} before it is driven; "
+                        "netlist is not topologically ordered"
+                    )
+            if gate.out < 0 or gate.out >= self.n_wires:
+                raise CircuitError(f"gate {idx} drives out-of-range wire")
+            if defined[gate.out]:
+                raise CircuitError(f"wire {gate.out} is multiply driven")
+            if gate.op.arity == 2 and gate.b is None:
+                raise CircuitError(f"gate {idx} ({gate.op}) is missing input b")
+            defined[gate.out] = 1
+        for out in self.outputs:
+            if out < 0 or out >= self.n_wires or not defined[out]:
+                raise CircuitError(f"output wire {out} is never driven")
+
+    def fanout(self) -> Dict[int, int]:
+        """Number of gate inputs (plus outputs) fed by each wire."""
+        counts: Dict[int, int] = {}
+        for gate in self.gates:
+            for src in gate.inputs():
+                counts[src] = counts.get(src, 0) + 1
+        for out in self.outputs:
+            counts[out] = counts.get(out, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Longest input-to-output path counted in non-free gates.
+
+        Garbling cost is dominated by non-free gates; this metric is the
+        AND-depth commonly used to characterize GC netlists.
+        """
+        level = [0] * self.n_wires
+        for gate in self.gates:
+            src_level = max(level[w] for w in gate.inputs())
+            level[gate.out] = src_level + (0 if gate.op.is_free else 1)
+        if not self.outputs:
+            return 0
+        return max(level[w] for w in self.outputs)
+
+    # -- conveniences ----------------------------------------------------
+
+    def input_assignment(
+        self,
+        alice_bits: Sequence[int],
+        bob_bits: Sequence[int],
+        state_bits: Optional[Sequence[int]] = None,
+    ) -> Dict[int, int]:
+        """Map every input wire (including constants) to a bit value."""
+        if len(alice_bits) != self.n_alice:
+            raise CircuitError(
+                f"expected {self.n_alice} Alice bits, got {len(alice_bits)}"
+            )
+        if len(bob_bits) != self.n_bob:
+            raise CircuitError(
+                f"expected {self.n_bob} Bob bits, got {len(bob_bits)}"
+            )
+        state_bits = list(state_bits or [])
+        if len(state_bits) != self.n_state:
+            raise CircuitError(
+                f"expected {self.n_state} state bits, got {len(state_bits)}"
+            )
+        assignment = {CONST_ZERO: 0, CONST_ONE: 1}
+        for wire, bit in zip(self.alice_inputs, alice_bits):
+            assignment[wire] = bit & 1
+        for wire, bit in zip(self.bob_inputs, bob_bits):
+            assignment[wire] = bit & 1
+        for wire, bit in zip(self.state_inputs, state_bits):
+            assignment[wire] = bit & 1
+        return assignment
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = self.counts()
+        return (
+            f"Circuit({self.name!r}, alice={self.n_alice}, bob={self.n_bob}, "
+            f"outputs={len(self.outputs)}, xor={counts.xor}, "
+            f"non_xor={counts.non_xor})"
+        )
+
+
+def concatenate(name: str, circuits: Iterable[Circuit]) -> Tuple[int, int]:
+    """Sum gate counts over several circuits (bookkeeping helper)."""
+    xor = 0
+    non_xor = 0
+    for circuit in circuits:
+        counts = circuit.counts()
+        xor += counts.xor
+        non_xor += counts.non_xor
+    return xor, non_xor

@@ -1,0 +1,194 @@
+"""Command-line front end for the reproduction harness.
+
+Usage::
+
+    python -m repro.cli table3            # component inventory vs paper
+    python -m repro.cli table4            # benchmarks w/o pre-processing
+    python -m repro.cli table5            # benchmarks w/ pre-processing
+    python -m repro.cli table6            # CryptoNets comparison
+    python -m repro.cli fig6              # delay-vs-batch-size curves
+    python -m repro.cli throughput        # this host's garbling speed
+    python -m repro.cli demo              # one live private inference
+
+Each subcommand prints the same report the corresponding benchmark
+module writes to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_table3(args) -> None:
+    from .circuits import FixedPointFormat
+    from .synthesis import component_inventory, render_table3
+
+    rows = component_inventory(
+        FixedPointFormat(3, 12), include_full_luts=args.full_luts
+    )
+    print(render_table3(rows))
+
+
+def _cmd_table4(args) -> None:
+    from .compile import (
+        GCCostModel,
+        PAPER_TABLE4,
+        architecture_counts,
+        measured_component_costs,
+        PAPER_COMPONENT_COSTS,
+    )
+    from .zoo import PAPER_ARCHITECTURES
+
+    costs = (
+        measured_component_costs(3, 12) if args.measured else PAPER_COMPONENT_COSTS
+    )
+    model = GCCostModel()
+    print(f"component costs: {costs.name}")
+    print(f"{'bench':<12}{'XOR':>11}{'non-XOR':>11}{'comm MB':>10}"
+          f"{'comp s':>9}{'exec s':>9}  paper exec")
+    for name, arch in PAPER_ARCHITECTURES.items():
+        row = model.breakdown(architecture_counts(arch, costs))
+        print(f"{name:<12}{row.xor:>11.3e}{row.non_xor:>11.3e}"
+              f"{row.comm_mb:>10.1f}{row.computation_s:>9.2f}"
+              f"{row.execution_s:>9.2f}  {PAPER_TABLE4[name][5]}")
+
+
+def _cmd_table5(args) -> None:
+    from .compile import GCCostModel, PAPER_TABLE5, architecture_counts
+    from .zoo import PAPER_ARCHITECTURES, PAPER_FOLDS
+
+    model = GCCostModel()
+    print(f"{'bench':<12}{'fold':>6}{'non-XOR':>12}{'exec s':>9}"
+          f"{'improve':>9}  paper")
+    for name, arch in PAPER_ARCHITECTURES.items():
+        fold = PAPER_FOLDS[name]
+        before = model.breakdown(architecture_counts(arch))
+        after = model.breakdown(architecture_counts(arch, mac_fold=fold))
+        print(f"{name:<12}{fold:>6}{after.non_xor:>12.3e}"
+              f"{after.execution_s:>9.2f}"
+              f"{before.execution_s / after.execution_s:>8.2f}x  "
+              f"({PAPER_TABLE5[name][5]}s, {PAPER_TABLE5[name][6]}x)")
+
+
+def _cmd_table6(args) -> None:
+    from .compile import (
+        CRYPTONETS_COMM_BYTES,
+        CRYPTONETS_LATENCY_S,
+        GCCostModel,
+        architecture_counts,
+    )
+    from .zoo import PAPER_ARCHITECTURES, PAPER_FOLDS
+
+    model = GCCostModel()
+    arch = PAPER_ARCHITECTURES["benchmark1"]
+    plain = model.breakdown(architecture_counts(arch))
+    prep = model.breakdown(
+        architecture_counts(arch, mac_fold=PAPER_FOLDS["benchmark1"])
+    )
+    print(f"{'framework':<24}{'comm':>12}{'exec s':>10}{'improve':>10}")
+    print(f"{'DeepSecure w/o pre-p':<24}{plain.comm_mb:>10.1f}MB"
+          f"{plain.execution_s:>10.2f}"
+          f"{CRYPTONETS_LATENCY_S / plain.execution_s:>9.2f}x")
+    print(f"{'DeepSecure w/ pre-p':<24}{prep.comm_mb:>10.1f}MB"
+          f"{prep.execution_s:>10.2f}"
+          f"{CRYPTONETS_LATENCY_S / prep.execution_s:>9.2f}x")
+    print(f"{'CryptoNets':<24}{CRYPTONETS_COMM_BYTES / 1024:>10.0f}KB"
+          f"{CRYPTONETS_LATENCY_S:>10.2f}{'-':>10}")
+
+
+def _cmd_fig6(args) -> None:
+    from .analysis import ascii_plot, compute_delay_curves
+
+    curves = compute_delay_curves()
+    print(ascii_plot(curves))
+
+
+def _cmd_throughput(args) -> None:
+    from .analysis import characterize
+
+    report = characterize(n_gates=args.gates)
+    print(f"non-XOR: {report.non_xor_per_s / 1e3:.1f}k gates/s "
+          f"(paper 2560k) | XOR: {report.xor_per_s / 1e3:.1f}k gates/s "
+          f"(paper 5110k) | slowdown {report.slowdown_vs_paper:.0f}x")
+
+
+def _cmd_demo(args) -> None:
+    import random
+
+    import numpy as np
+
+    from .circuits import FixedPointFormat
+    from .compile import CompileOptions
+    from .gc.ot import TEST_GROUP_512
+    from .nn import Dense, Sequential, Tanh, TrainConfig, Trainer
+    from .service import PrivateInferenceService
+
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, size=(400, 10))
+    w = rng.normal(size=(10, 3))
+    y = (x @ w).argmax(axis=1)
+    model = Sequential([Dense(6), Tanh(), Dense(3)], input_shape=(10,), seed=1)
+    Trainer(model, TrainConfig(epochs=20, learning_rate=0.2)).fit(x, y)
+    service = PrivateInferenceService(
+        model,
+        fmt=FixedPointFormat(2, 6),
+        options=CompileOptions(activation="exact", output="argmax"),
+        ot_group=TEST_GROUP_512,
+        rng=random.Random(1),
+    )
+    print(service.circuit_summary)
+    record = service.infer(x[0])
+    print(f"private label: {record.label} | cleartext: "
+          f"{service.cleartext_label(x[0])} | comm "
+          f"{record.comm_bytes / 1e6:.2f} MB | {record.wall_seconds:.2f} s")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DeepSecure reproduction harness"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t3 = sub.add_parser("table3", help="component gate counts vs paper")
+    t3.add_argument("--full-luts", action="store_true",
+                    help="include the 16-bit full-domain LUT variants")
+    t3.set_defaults(func=_cmd_table3)
+
+    t4 = sub.add_parser("table4", help="benchmark costs w/o pre-processing")
+    t4.add_argument("--measured", action="store_true",
+                    help="use our measured component costs")
+    t4.set_defaults(func=_cmd_table4)
+
+    sub.add_parser("table5", help="benchmark costs w/ pre-processing").set_defaults(
+        func=_cmd_table5
+    )
+    sub.add_parser("table6", help="CryptoNets comparison").set_defaults(
+        func=_cmd_table6
+    )
+    sub.add_parser("fig6", help="delay-vs-batch-size curves").set_defaults(
+        func=_cmd_fig6
+    )
+    tp = sub.add_parser("throughput", help="host garbling throughput")
+    tp.add_argument("--gates", type=int, default=20000)
+    tp.set_defaults(func=_cmd_throughput)
+    sub.add_parser("demo", help="one live private inference").set_defaults(
+        func=_cmd_demo
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""The paper's published numbers, kept in one place.
+
+Table 3 component gate counts, Table 2/Sec. 4.3 cost-model coefficients,
+Table 4/5 benchmark rows and the Table 6 / Fig. 6 CryptoNets figures.
+Every benchmark compares our measured/derived values against these.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "PAPER_TABLE3",
+    "CostCoefficients",
+    "PAPER_COEFFICIENTS",
+    "ComponentCosts",
+    "PAPER_COMPONENT_COSTS",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "CRYPTONETS_LATENCY_S",
+    "CRYPTONETS_COMM_BYTES",
+    "CRYPTONETS_BATCH",
+    "CRYPTONETS_FIG6_LATENCY_S",
+]
+
+#: Table 3: component -> (XOR, non-XOR, error as a fraction; None = exact).
+PAPER_TABLE3: Dict[str, Tuple[int, int, Optional[float]]] = {
+    "TanhLUT": (692, 149745, 0.0),
+    "Tanh2.10.12": (3040, 1746, 0.0001),
+    "TanhPL": (5, 206, 0.0022),
+    "TanhCORDIC": (8415, 3900, 0.0),
+    "SigmoidLUT": (553, 142523, 0.0),
+    "Sigmoid3.10.12": (3629, 2107, 0.0004),
+    "SigmoidPLAN": (1, 73, 0.0059),
+    "SigmoidCORDIC": (8447, 3932, 0.0),
+    "ADD": (16, 16, 0.0),
+    "MULT": (381, 212, 0.0),
+    "DIV": (545, 361, 0.0),
+    "ReLu": (30, 15, 0.0),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class CostCoefficients:
+    """Sec. 4.3 performance characterization.
+
+    Attributes:
+        xor_clks: CPU cycles to garble/evaluate one XOR gate.
+        non_xor_clks: cycles for one non-XOR gate.
+        cpu_hz: clock frequency of the testbed (i7-2600).
+        bits_per_non_xor: garbled-table bits per non-XOR gate (2 rows x
+            128 bits after row-reduction + half-gates).
+        effective_non_xor_per_s: end-to-end throughput including transfer
+            (Sec. 4.4: 2.56M non-XOR gates/s).
+        effective_xor_per_s: Sec. 4.4: 5.11M XOR gates/s.
+    """
+
+    xor_clks: float = 62.0
+    non_xor_clks: float = 164.0
+    cpu_hz: float = 3.4e9
+    bits_per_non_xor: int = 2 * 128
+    effective_non_xor_per_s: float = 2.56e6
+    effective_xor_per_s: float = 5.11e6
+
+
+PAPER_COEFFICIENTS = CostCoefficients()
+
+
+@dataclasses.dataclass(frozen=True)
+class ComponentCosts:
+    """Per-component (XOR, non-XOR) costs used by the analytic gate model.
+
+    Two instances exist: the paper's Table 3 values (reproducing the
+    published Tables 4-6 exactly) and our measured netlist values
+    (showing the same shape with our constructions).
+    """
+
+    name: str
+    mac_xor_per_element: float  # A(1xm)*B(mxn): xor = this*m*n + bias*n
+    mac_non_xor_per_element: float
+    mac_xor_bias_per_output: float
+    mac_non_xor_bias_per_output: float
+    relu: Tuple[int, int]
+    tanh: Tuple[int, int]
+    sigmoid: Tuple[int, int]
+    softmax_per_stage: Tuple[int, int]
+
+    def matvec(self, m: int, n: int) -> Tuple[int, int]:
+        """Gate counts of an (m -> n) fully-connected layer."""
+        xor = self.mac_xor_per_element * m * n + self.mac_xor_bias_per_output * n
+        non_xor = (
+            self.mac_non_xor_per_element * m * n
+            + self.mac_non_xor_bias_per_output * n
+        )
+        return int(round(xor)), int(round(non_xor))
+
+
+#: Table 3 row "A1xm . Bmxn": 397mn - 16n XOR, 228mn - 16n non-XOR,
+#: with CORDIC activations (the configuration used in Sec. 4.5).
+PAPER_COMPONENT_COSTS = ComponentCosts(
+    name="paper-table3",
+    mac_xor_per_element=397.0,
+    mac_non_xor_per_element=228.0,
+    mac_xor_bias_per_output=-16.0,
+    mac_non_xor_bias_per_output=-16.0,
+    relu=(30, 15),
+    tanh=PAPER_TABLE3["TanhCORDIC"][:2],
+    sigmoid=PAPER_TABLE3["SigmoidCORDIC"][:2],
+    softmax_per_stage=(48, 32),
+)
+
+#: Table 4 rows: name -> (architecture string, XOR, non-XOR, comm MB,
+#: comp s, execution s).
+PAPER_TABLE4 = {
+    "benchmark1": (
+        "28x28-5C2-ReLu-100FC-ReLu-10FC-Softmax",
+        4.31e7, 2.47e7, 791.0, 1.98, 9.67,
+    ),
+    "benchmark2": (
+        "28x28-300FC-Sigmoid-100FC-Sigmoid-10FC-Softmax",
+        1.09e8, 6.23e7, 1990.0, 4.99, 24.37,
+    ),
+    "benchmark3": ("617-50FC-Tanh-26FC-Softmax", 1.32e7, 7.54e6, 241.0, 0.60, 2.95),
+    "benchmark4": (
+        "5625-2000FC-Tanh-500FC-Tanh-19FC-Softmax",
+        4.89e9, 2.81e9, 8.98e4, 224.50, 1098.3,
+    ),
+}
+
+#: Table 5 rows: name -> (fold, XOR, non-XOR, comm MB, comp s, exec s,
+#: improvement).
+PAPER_TABLE5 = {
+    "benchmark1": (9, 4.81e6, 2.76e6, 88.2, 0.22, 1.08, 8.95),
+    "benchmark2": (12, 1.21e7, 6.57e6, 210.0, 0.54, 2.57, 9.48),
+    "benchmark3": (6, 2.51e6, 1.40e6, 44.7, 0.11, 0.56, 5.27),
+    "benchmark4": (120, 6.28e7, 3.39e7, 1080.0, 2.78, 13.26, 82.83),
+}
+
+#: Table 6: CryptoNets per-batch latency and per-sample communication.
+CRYPTONETS_LATENCY_S = 570.11
+CRYPTONETS_COMM_BYTES = 74 * 1024
+CRYPTONETS_BATCH = 8192
+
+#: Figure 6 plots a flat CryptoNets line whose marked crossovers (288 and
+#: 2590 samples) imply ~2790 s — inconsistent with Table 6's 570.11 s by
+#: ~4.9x.  Both calibrations are produced by the figure harness.
+CRYPTONETS_FIG6_LATENCY_S = 2790.0

@@ -1,0 +1,65 @@
+"""Synthetic spoken-letter features (ISOLET stand-in, paper benchmark 3).
+
+ISOLET is 617 acoustic features over 26 letter classes from 150 speakers.
+The stand-in generates class prototypes inside a shared low-rank
+subspace plus small class-specific directions, speaker offsets and
+noise.  The *low-rank* structure matters: it is exactly what the paper's
+data-projection pre-processing (Alg. 1) exploits to reach its 6-fold
+compaction on this benchmark, so the generator exposes the effective
+rank as a parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["generate_audio_features"]
+
+
+def generate_audio_features(
+    n_samples: int,
+    n_features: int = 617,
+    n_classes: int = 26,
+    effective_rank: int = 60,
+    n_speakers: int = 150,
+    noise: float = 0.18,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate ISOLET-like data.
+
+    Args:
+        n_samples: number of samples (balanced across classes).
+        n_features: feature dimensionality (paper: 617).
+        n_classes: letter classes (paper: 26).
+        effective_rank: dimension of the shared subspace the classes
+            live in — controls how far Alg. 1 can project.
+        n_speakers: per-speaker additive offsets inside the subspace.
+        noise: isotropic full-space noise level.
+        seed: RNG seed.
+
+    Returns:
+        ``(features, integer labels)``; features roughly standardized.
+    """
+    rng = np.random.default_rng(seed)
+    # orthonormal basis of the shared subspace
+    basis = np.linalg.qr(rng.normal(size=(n_features, effective_rank)))[0]
+    class_coords = rng.normal(size=(n_classes, effective_rank)) * 2.0
+    speaker_coords = rng.normal(size=(n_speakers, effective_rank)) * 0.4
+    labels = np.arange(n_samples) % n_classes
+    speakers = rng.integers(0, n_speakers, size=n_samples)
+    coords = (
+        class_coords[labels]
+        + speaker_coords[speakers]
+        + rng.normal(size=(n_samples, effective_rank)) * 0.5
+    )
+    features = coords @ basis.T
+    features += rng.normal(size=(n_samples, n_features)) * noise
+    # standardize feature-wise like the UCI release
+    features -= features.mean(axis=0, keepdims=True)
+    scale = features.std(axis=0, keepdims=True)
+    features /= np.where(scale > 1e-9, scale, 1.0)
+    features = np.clip(features / 4.0, -1.0, 1.0)  # keep inside fixed range
+    order = rng.permutation(n_samples)
+    return features[order], labels[order]

@@ -1,0 +1,69 @@
+"""Synthetic smart-sensing dataset (DSA stand-in, paper benchmark 4).
+
+The UCI "Daily and Sports Activities" data is 45 body-sensor channels
+sampled over time windows, flattened to 5625 features across 19
+activities.  The stand-in synthesizes per-activity quasi-periodic
+channel signals (activity-specific frequency/amplitude signatures plus
+phase jitter and noise) and flattens the window.  Periodic signals over
+a fixed window are inherently low-rank — matching why the paper reaches
+a huge (120-fold) compaction on this benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["generate_sensing"]
+
+
+def generate_sensing(
+    n_samples: int,
+    n_channels: int = 45,
+    window: int = 125,
+    n_classes: int = 19,
+    harmonics: int = 3,
+    noise: float = 0.12,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate DSA-like windows (flattened to n_channels * window).
+
+    Args:
+        n_samples: number of windows (balanced across activities).
+        n_channels: sensor channels (paper: 45 -> 5625 = 45 x 125).
+        window: samples per window (paper: 125).
+        n_classes: activities (paper: 19).
+        harmonics: sinusoidal components per channel signature.
+        noise: additive noise level.
+        seed: RNG seed.
+
+    Returns:
+        ``(features of shape (n, n_channels * window), labels)``.
+    """
+    rng = np.random.default_rng(seed)
+    time = np.arange(window) / window
+    # per-activity, per-channel signature: frequencies, amplitudes, phases
+    freqs = rng.uniform(1.0, 8.0, size=(n_classes, n_channels, harmonics))
+    amps = rng.uniform(0.2, 1.0, size=(n_classes, n_channels, harmonics))
+    amps /= amps.sum(axis=2, keepdims=True)
+    phases = rng.uniform(0, 2 * np.pi, size=(n_classes, n_channels, harmonics))
+    offsets = rng.uniform(-0.3, 0.3, size=(n_classes, n_channels))
+
+    labels = np.arange(n_samples) % n_classes
+    features = np.empty((n_samples, n_channels, window))
+    for i, cls in enumerate(labels):
+        jitter = rng.uniform(-0.3, 0.3, size=(n_channels, harmonics, 1))
+        wave = amps[cls][:, :, None] * np.sin(
+            2 * np.pi * freqs[cls][:, :, None] * time[None, None, :]
+            + phases[cls][:, :, None]
+            + jitter
+        )
+        signal = wave.sum(axis=1) + offsets[cls][:, None]
+        speed = 1.0 + rng.uniform(-0.1, 0.1)
+        signal = signal * speed
+        features[i] = signal + rng.normal(size=(n_channels, window)) * noise
+    flat = features.reshape(n_samples, n_channels * window)
+    flat = np.clip(flat / 2.0, -1.0, 1.0)
+    order = rng.permutation(n_samples)
+    return flat[order], labels[order]

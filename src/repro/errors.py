@@ -1,0 +1,47 @@
+"""Exception hierarchy for the DeepSecure reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class CircuitError(ReproError):
+    """Raised when a netlist is malformed (bad wires, cycles, arity)."""
+
+
+class SynthesisError(ReproError):
+    """Raised when an optimization pass would change circuit semantics."""
+
+
+class GarblingError(ReproError):
+    """Raised on protocol violations inside the garbled-circuit engine."""
+
+
+class ProtocolError(ReproError):
+    """Raised when the two-party session is driven out of order."""
+
+
+class OTError(ReproError):
+    """Raised on oblivious-transfer failures (bad counts, bad group element)."""
+
+
+class QuantizationError(ReproError):
+    """Raised when a value cannot be represented in the fixed-point format."""
+
+
+class CompileError(ReproError):
+    """Raised when a neural network cannot be lowered to a netlist."""
+
+
+class TrainingError(ReproError):
+    """Raised when model training is configured inconsistently."""
+
+
+class PreprocessError(ReproError):
+    """Raised by the data-projection / pruning pipeline."""

@@ -1,0 +1,59 @@
+"""Yao's garbled-circuit engine with the paper's optimization stack.
+
+Free-XOR, point-and-permute, row-reduced half-gates, fixed-key cipher
+backends, Naor-Pinkas-style base OT, IKNP OT extension, sequential
+garbling and XOR-sharing outsourcing.
+"""
+
+from .channel import Channel, ChannelStats, make_channel_pair
+from .cutandchoose import CutAndChooseGarbler, OpenedCopy, verify_opened_copy
+from .cipher import LABEL_BITS, FixedKeyAES, HashKDF, default_kdf
+from .evaluate import Evaluator
+from .garble import GarbledCircuit, GarbledGate, Garbler
+from .labels import LabelStore, permute_bit, random_delta, random_label
+from .ot import MODP_2048, TEST_GROUP_512, OTGroup, OTReceiver, OTSender, run_ot_batch
+from .ot_extension import extension_ot
+from .outsourcing import OutsourcedSession, outsource_circuit, split_input
+from .protocol import ProtocolResult, TwoPartySession, execute
+from .rowreduce import ROWS_PER_GATE, RowGarbled, evaluate_rows, garble_rows
+from .sequential import SequentialResult, SequentialSession
+
+__all__ = [
+    "Garbler",
+    "Evaluator",
+    "GarbledCircuit",
+    "GarbledGate",
+    "LabelStore",
+    "random_label",
+    "random_delta",
+    "permute_bit",
+    "HashKDF",
+    "FixedKeyAES",
+    "default_kdf",
+    "LABEL_BITS",
+    "OTGroup",
+    "OTSender",
+    "OTReceiver",
+    "MODP_2048",
+    "TEST_GROUP_512",
+    "run_ot_batch",
+    "extension_ot",
+    "Channel",
+    "ChannelStats",
+    "make_channel_pair",
+    "TwoPartySession",
+    "ProtocolResult",
+    "execute",
+    "SequentialSession",
+    "SequentialResult",
+    "OutsourcedSession",
+    "outsource_circuit",
+    "split_input",
+    "CutAndChooseGarbler",
+    "OpenedCopy",
+    "verify_opened_copy",
+    "garble_rows",
+    "evaluate_rows",
+    "RowGarbled",
+    "ROWS_PER_GATE",
+]

@@ -1,0 +1,238 @@
+"""The garbler: free-XOR + point-and-permute + half-gates.
+
+Implements the paper's optimization stack (Sec. 2.3):
+
+* **Free-XOR** (Kolesnikov-Schneider): XOR/XNOR/NOT cost nothing.
+* **Point-and-permute + row-reduction + half-gates** (Zahur-Rosulek-
+  Evans): every remaining 2-input gate costs exactly two 128-bit
+  ciphertexts, which is where the paper's ``alpha = 2 x 128 bit`` per
+  non-XOR gate communication figure comes from.
+* **Fixed-key cipher** (Bellare et al.): the hashing backend is
+  pluggable (:mod:`repro.gc.cipher`).
+
+Any non-free gate type is reduced to AND with free input/output
+inversions (offsets by the global delta) via
+:data:`repro.circuits.gates.AND_REDUCTION`, so OR/NAND/NOR/ANDN garble at
+the same two-ciphertext cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import secrets
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.gates import AND_REDUCTION, GateType
+from ..circuits.netlist import CONST_ONE, CONST_ZERO, Circuit
+from ..errors import GarblingError
+from .cipher import HashKDF, default_kdf
+from .labels import LabelStore, permute_bit
+
+__all__ = ["GarbledGate", "GarbledCircuit", "Garbler"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GarbledGate:
+    """The two half-gate ciphertexts of one non-free gate."""
+
+    tg: int
+    te: int
+
+    def to_bytes(self) -> bytes:
+        """Serialize as 32 bytes (2 x 128-bit rows)."""
+        return self.tg.to_bytes(16, "little") + self.te.to_bytes(16, "little")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "GarbledGate":
+        """Inverse of :meth:`to_bytes`."""
+        if len(data) != 32:
+            raise GarblingError("garbled gate must be 32 bytes")
+        return cls(
+            int.from_bytes(data[:16], "little"),
+            int.from_bytes(data[16:], "little"),
+        )
+
+
+@dataclasses.dataclass
+class GarbledCircuit:
+    """Everything the evaluator needs (plus the garbler's private state).
+
+    Attributes:
+        tables: ciphertext pairs, one per non-free gate, in netlist order.
+        const_labels: labels for the two constant wires (garbler-known).
+        decode_bits: permute bits of the output zero-labels; with these
+            the evaluator could decode locally — in DeepSecure's flow the
+            garbler keeps them and decodes after the merge step.
+        tweak_base: first tweak index used (sequential garbling advances
+            it every cycle so hashes never repeat across cycles).
+    """
+
+    tables: List[GarbledGate]
+    const_labels: Tuple[int, int]
+    decode_bits: List[int]
+    tweak_base: int = 0
+
+    def tables_bytes(self) -> bytes:
+        """Wire format of all garbled tables (32 bytes per non-free gate)."""
+        return b"".join(t.to_bytes() for t in self.tables)
+
+    @property
+    def size_bytes(self) -> int:
+        """Transfer size of the tables alone."""
+        return 32 * len(self.tables)
+
+
+class Garbler:
+    """Garbles one :class:`Circuit` (or one cycle of a sequential one).
+
+    Args:
+        circuit: netlist to garble.
+        kdf: garbling oracle (default SHA-256 backend).
+        label_store: reuse an existing store — required across cycles of
+            a sequential circuit so register labels carry over.
+        rng: randomness source (``secrets`` by default; tests may pass a
+            seeded ``random.Random`` for reproducibility).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        kdf: Optional[HashKDF] = None,
+        label_store: Optional[LabelStore] = None,
+        rng=secrets,
+    ) -> None:
+        self.circuit = circuit
+        self.kdf = kdf or default_kdf()
+        self.labels = label_store or LabelStore(rng=rng)
+        self._rng = rng
+
+    def garble(
+        self,
+        state_zero_labels: Optional[Sequence[int]] = None,
+        tweak_base: int = 0,
+    ) -> GarbledCircuit:
+        """Garble the circuit; returns the evaluator-side material.
+
+        Args:
+            state_zero_labels: zero-labels for the circuit's state wires
+                (sequential carry-over).  Fresh labels are drawn when
+                omitted.
+            tweak_base: starting tweak; callers garbling multiple cycles
+                must advance it (e.g. by ``2 * len(tables)`` per cycle).
+        """
+        circuit = self.circuit
+        labels = self.labels
+        # constants + inputs
+        for wire in (CONST_ZERO, CONST_ONE):
+            labels.assign_fresh(wire)
+        for wire in circuit.alice_inputs:
+            labels.assign_fresh(wire)
+        for wire in circuit.bob_inputs:
+            labels.assign_fresh(wire)
+        state_wires = list(circuit.state_inputs)
+        if state_zero_labels is None:
+            for wire in state_wires:
+                labels.assign_fresh(wire)
+        else:
+            if len(state_zero_labels) != len(state_wires):
+                raise GarblingError("wrong number of state labels")
+            for wire, label in zip(state_wires, state_zero_labels):
+                labels.set_zero(wire, label)
+
+        tables: List[GarbledGate] = []
+        tweak = tweak_base
+        delta = labels.delta
+        for gate in circuit.gates:
+            op = gate.op
+            if op is GateType.XOR:
+                labels.set_zero(
+                    gate.out, labels.zero(gate.a) ^ labels.zero(gate.b)
+                )
+            elif op is GateType.XNOR:
+                labels.set_zero(
+                    gate.out,
+                    labels.zero(gate.a) ^ labels.zero(gate.b) ^ delta,
+                )
+            elif op is GateType.NOT:
+                labels.set_zero(gate.out, labels.zero(gate.a) ^ delta)
+            elif op is GateType.BUF:
+                labels.set_zero(gate.out, labels.zero(gate.a))
+            else:
+                table, zero_out = self._garble_and_reduced(gate, tweak)
+                labels.set_zero(gate.out, zero_out)
+                tables.append(table)
+                tweak += 2
+        const_labels = (
+            labels.select(CONST_ZERO, 0),
+            labels.select(CONST_ONE, 1),
+        )
+        decode = [permute_bit(labels.zero(w)) for w in circuit.outputs]
+        return GarbledCircuit(
+            tables=tables,
+            const_labels=const_labels,
+            decode_bits=decode,
+            tweak_base=tweak_base,
+        )
+
+    # -- half-gates core ---------------------------------------------------
+
+    def _garble_and_reduced(self, gate, tweak: int) -> Tuple[GarbledGate, int]:
+        """Garble a non-free gate via its AND-with-inversions reduction."""
+        inv = AND_REDUCTION.get(gate.op)
+        if inv is None:
+            raise GarblingError(f"cannot garble gate type {gate.op}")
+        delta = self.labels.delta
+        # free input inversions: offset the zero-labels by delta
+        label_a = self.labels.zero(gate.a) ^ (delta if inv.ia else 0)
+        label_b = self.labels.zero(gate.b) ^ (delta if inv.ib else 0)
+        table, zero_out = self._garble_and(label_a, label_b, tweak)
+        # free output inversion
+        return table, zero_out ^ (delta if inv.out else 0)
+
+    def _garble_and(
+        self, zero_a: int, zero_b: int, tweak: int
+    ) -> Tuple[GarbledGate, int]:
+        """Half-gates AND (Zahur-Rosulek-Evans, two ciphertexts)."""
+        kdf = self.kdf
+        delta = self.labels.delta
+        pa = permute_bit(zero_a)
+        pb = permute_bit(zero_b)
+        h_a0 = kdf.hash(zero_a, tweak)
+        h_a1 = kdf.hash(zero_a ^ delta, tweak)
+        h_b0 = kdf.hash(zero_b, tweak + 1)
+        h_b1 = kdf.hash(zero_b ^ delta, tweak + 1)
+        # garbler half-gate
+        tg = h_a0 ^ h_a1 ^ (delta if pb else 0)
+        wg = h_a0 ^ (tg if pa else 0)
+        # evaluator half-gate
+        te = h_b0 ^ h_b1 ^ zero_a
+        we = h_b0 ^ ((te ^ zero_a) if pb else 0)
+        return GarbledGate(tg=tg, te=te), wg ^ we
+
+    # -- conveniences -------------------------------------------------------
+
+    def input_labels_for(
+        self, wires: Sequence[int], bits: Sequence[int]
+    ) -> List[int]:
+        """Labels encoding ``bits`` on ``wires`` (garbler's own inputs)."""
+        return [self.labels.select(w, b) for w, b in zip(wires, bits)]
+
+    def wire_label_pair(self, wire: int) -> Tuple[int, int]:
+        """(zero-label, one-label) of a wire — OT sender messages."""
+        return self.labels.zero(wire), self.labels.one(wire)
+
+    def decode_outputs(self, output_labels: Sequence[int]) -> List[int]:
+        """Merge step: decode the evaluator's output labels (Sec. 2.2.2 iv).
+
+        Raises:
+            GarblingError: if any label is not one of the wire's two
+                labels.
+        """
+        wires = self.circuit.outputs
+        if len(output_labels) != len(wires):
+            raise GarblingError("wrong number of output labels")
+        return self.labels.decode_bits(wires, output_labels)
+
+    def state_zero_labels_out(self, d_wires: Sequence[int]) -> List[int]:
+        """Zero-labels of register next-state wires (for the next cycle)."""
+        return [self.labels.zero(w) for w in d_wires]

@@ -1,0 +1,100 @@
+"""Wire-label algebra for free-XOR garbling.
+
+Labels are 128-bit integers.  The garbler draws one global ``delta`` with
+least-significant bit 1 (the point-and-permute bit), and every wire ``w``
+gets a zero-label ``L0_w``; its one-label is ``L0_w ^ delta``.  Free-XOR
+then makes ``L0_c = L0_a ^ L0_b`` a correct garbling of XOR with no
+tables, and the LSB of any label a valid permute bit.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Dict, Iterable, List
+
+from ..errors import GarblingError
+from .cipher import LABEL_MASK
+from .rng import rand_bits
+
+__all__ = [
+    "random_label",
+    "random_delta",
+    "permute_bit",
+    "LabelStore",
+]
+
+
+def random_label(rng=secrets) -> int:
+    """A fresh uniformly random 128-bit label."""
+    return rand_bits(rng, 128)
+
+
+def random_delta(rng=secrets) -> int:
+    """The global free-XOR offset; LSB forced to 1 for point-and-permute."""
+    return rand_bits(rng, 128) | 1
+
+
+def permute_bit(label: int) -> int:
+    """The public permute (color) bit of a label."""
+    return label & 1
+
+
+class LabelStore:
+    """Zero-labels per wire on the garbler side.
+
+    Provides the free-XOR algebra and the select/decode operations; the
+    delta never leaves this object.
+    """
+
+    def __init__(self, delta: int = None, rng=secrets) -> None:
+        self.delta = delta if delta is not None else random_delta(rng)
+        if not self.delta & 1:
+            raise GarblingError("delta must have LSB 1 (point-and-permute)")
+        self._zero: Dict[int, int] = {}
+        self._rng = rng
+
+    def assign_fresh(self, wire: int) -> int:
+        """Draw and store a fresh zero-label for ``wire``."""
+        label = random_label(self._rng)
+        self._zero[wire] = label
+        return label
+
+    def set_zero(self, wire: int, label: int) -> None:
+        """Store a caller-provided zero-label (sequential state carry)."""
+        self._zero[wire] = label & LABEL_MASK
+
+    def zero(self, wire: int) -> int:
+        """Zero-label of ``wire``."""
+        try:
+            return self._zero[wire]
+        except KeyError:
+            raise GarblingError(f"wire {wire} has no label yet") from None
+
+    def one(self, wire: int) -> int:
+        """One-label of ``wire`` (zero-label XOR delta)."""
+        return self.zero(wire) ^ self.delta
+
+    def select(self, wire: int, bit: int) -> int:
+        """Label encoding plaintext ``bit`` on ``wire``."""
+        return self.zero(wire) ^ (self.delta if bit & 1 else 0)
+
+    def decode_bit(self, wire: int, label: int) -> int:
+        """Recover the plaintext bit from a label of ``wire``.
+
+        Raises:
+            GarblingError: if the label is neither of the wire's labels
+                (protocol violation / corruption).
+        """
+        if label == self.zero(wire):
+            return 0
+        if label == self.one(wire):
+            return 1
+        raise GarblingError(f"label does not belong to wire {wire}")
+
+    def decode_bits(self, wires: Iterable[int], labels: Iterable[int]) -> List[int]:
+        """Vector :meth:`decode_bit` in wire order."""
+        return [self.decode_bit(w, l) for w, l in zip(wires, labels)]
+
+    def output_decode_map(self, wires: Iterable[int]) -> List[int]:
+        """Point-and-permute decode bits (LSB of each zero-label)."""
+        return [self.zero(w) & 1 for w in wires]

@@ -1,0 +1,124 @@
+"""IKNP oblivious-transfer extension.
+
+Base OTs cost one modular exponentiation each; a DL circuit needs one OT
+per evaluator input *bit*, which would dominate runtime.  OT extension
+(Ishai-Kilian-Nissim-Petrank) turns ``k = 128`` base OTs (with roles
+swapped) plus symmetric hashing into millions of transfers — this is the
+standard companion of garbled-circuit frameworks and what keeps the OT
+phase off the critical path in the paper's Fig. 5 timeline.
+
+Matrix notation (m transfers, k = 128 security):
+
+* receiver picks random ``T`` (m x k) and runs base OTs *as sender* with
+  pairs ``(t_j, t_j ^ r)`` per column j, where ``r`` is the choice vector;
+* sender picks ``s in {0,1}^k`` and receives columns ``q_j``, forming
+  ``Q`` with rows ``q_i = t_i ^ (r_i ? s : 0)``;
+* sender masks: ``y0_i = x0_i ^ H(i, q_i)``, ``y1_i = x1_i ^ H(i, q_i ^ s)``;
+* receiver unmasks its choice with ``H(i, t_i)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import OTError
+from .ot import MODP_2048, OTGroup, run_ot_batch
+from .rng import rand_bits
+
+__all__ = ["extension_ot", "KAPPA"]
+
+KAPPA = 128
+
+
+def _row_bytes(matrix: np.ndarray) -> List[bytes]:
+    """Pack an (m, k) bit matrix into per-row byte strings."""
+    return [np.packbits(row).tobytes() for row in matrix]
+
+
+def _hash_row(index: int, row: bytes, length: int) -> bytes:
+    out = b""
+    counter = 0
+    while len(out) < length:
+        out += hashlib.sha256(
+            index.to_bytes(8, "big") + counter.to_bytes(4, "big") + row
+        ).digest()
+        counter += 1
+    return out[:length]
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def extension_ot(
+    pairs: Sequence[Tuple[bytes, bytes]],
+    choices: Sequence[int],
+    group: OTGroup = MODP_2048,
+    rng=secrets,
+    kappa: int = KAPPA,
+) -> Tuple[List[bytes], int]:
+    """Run IKNP extension locally (both roles in-process).
+
+    Args:
+        pairs: the sender's ``m`` message pairs (equal lengths per pair).
+        choices: the receiver's ``m`` choice bits.
+        group: group for the ``kappa`` base OTs.
+        rng: randomness source.
+        kappa: computational security parameter (base-OT count).
+
+    Returns:
+        ``(chosen_messages, transferred_bytes)`` where the second element
+        counts the extension-phase traffic (columns + masked messages),
+        used by the protocol's communication accounting.
+    """
+    m = len(pairs)
+    if m != len(choices):
+        raise OTError("need one choice per pair")
+    if m == 0:
+        return [], 0
+    # --- receiver state
+    choice_bits = np.array([c & 1 for c in choices], dtype=np.uint8)
+    t_matrix = np.frombuffer(
+        bytes(rand_bits(rng, 8) for _ in range(m * kappa)), dtype=np.uint8
+    ).reshape(m, kappa) & 1
+    # --- base OTs with swapped roles: sender of extension receives columns
+    s_bits = [rand_bits(rng, 1) for _ in range(kappa)]
+    base_pairs = []
+    for j in range(kappa):
+        col = t_matrix[:, j]
+        base_pairs.append(
+            (np.packbits(col).tobytes(), np.packbits(col ^ choice_bits).tobytes())
+        )
+    received = run_ot_batch(base_pairs, s_bits, group=group, rng=rng)
+    q_columns = np.stack(
+        [
+            np.unpackbits(np.frombuffer(data, dtype=np.uint8))[:m]
+            for data in received
+        ],
+        axis=1,
+    ).astype(np.uint8)
+    # --- sender masks the message pairs
+    s_vector = np.array(s_bits, dtype=np.uint8)
+    q_rows = _row_bytes(q_columns)
+    q_rows_flipped = _row_bytes(q_columns ^ s_vector[None, :])
+    masked: List[Tuple[bytes, bytes]] = []
+    transferred = 0
+    for i, (m0, m1) in enumerate(pairs):
+        if len(m0) != len(m1):
+            raise OTError("message pair lengths must match")
+        y0 = _xor_bytes(m0, _hash_row(i, q_rows[i], len(m0)))
+        y1 = _xor_bytes(m1, _hash_row(i, q_rows_flipped[i], len(m1)))
+        masked.append((y0, y1))
+        transferred += len(y0) + len(y1)
+    transferred += m * kappa // 8  # the base-OT column payloads
+    # --- receiver unmasks
+    t_rows = _row_bytes(t_matrix)
+    out: List[bytes] = []
+    for i, choice in enumerate(choice_bits):
+        y = masked[i][1] if choice else masked[i][0]
+        out.append(_xor_bytes(y, _hash_row(i, t_rows[i], len(y))))
+    return out, transferred

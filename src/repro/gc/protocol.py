@@ -1,0 +1,251 @@
+"""The end-to-end two-party protocol (paper Fig. 3).
+
+Roles follow DeepSecure: the *client* (Alice) owns the data, garbles the
+circuit and sends tables + her input labels; the *cloud server* (Bob)
+owns the DL parameters, receives his input labels through OT, evaluates,
+and returns the encrypted inference for the merge step.  The session
+records per-phase wall-clock times and exact per-tag traffic so the
+benchmark harness can reproduce the paper's communication/computation
+split (Table 2, Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import secrets
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..circuits.netlist import Circuit
+from ..errors import ProtocolError
+from .channel import ChannelStats, make_channel_pair
+from .cipher import HashKDF, default_kdf
+from .evaluate import Evaluator
+from .garble import Garbler
+from .ot import MODP_2048, OTGroup
+from .ot_extension import extension_ot
+
+__all__ = ["ProtocolResult", "TwoPartySession", "execute"]
+
+#: Below this many evaluator input bits, base OT is used directly;
+#: above it, the IKNP extension amortizes the group operations.
+OT_EXTENSION_THRESHOLD = 128
+
+
+@dataclasses.dataclass
+class ProtocolResult:
+    """Outcome and accounting of one protocol execution.
+
+    Attributes:
+        outputs: decoded plaintext output bits (held by Alice after the
+            merge step; also by Bob when ``share_result``).
+        times: seconds per phase ('garble', 'transfer', 'ot', 'evaluate',
+            'merge').
+        comm: per-tag byte counts ('tables', 'alice_labels', 'ot',
+            'output_labels', ...).
+        n_xor: free-gate count of the executed netlist.
+        n_non_xor: non-free gate count (the communication driver).
+    """
+
+    outputs: List[int]
+    times: Dict[str, float]
+    comm: Dict[str, int]
+    n_xor: int
+    n_non_xor: int
+
+    @property
+    def total_time(self) -> float:
+        """Sum of all phases (single-threaded reference time)."""
+        return sum(self.times.values())
+
+    @property
+    def total_comm_bytes(self) -> int:
+        """Total protocol traffic in bytes."""
+        return sum(self.comm.values())
+
+
+class TwoPartySession:
+    """Drives garbler and evaluator through the four protocol steps.
+
+    Both parties run in-process over a byte-counting channel; the code is
+    written message-by-message so the flow mirrors a networked
+    deployment.
+
+    Args:
+        circuit: the public netlist.
+        kdf: garbling oracle shared by both parties.
+        ot_group: group for base OTs.
+        rng: randomness source for labels and OT.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        kdf: Optional[HashKDF] = None,
+        ot_group: OTGroup = MODP_2048,
+        rng=secrets,
+    ) -> None:
+        if circuit.n_state:
+            raise ProtocolError(
+                "combinational protocol cannot run a sequential core; "
+                "use repro.gc.sequential.SequentialSession"
+            )
+        self.circuit = circuit
+        self.kdf = kdf or default_kdf()
+        self.ot_group = ot_group
+        self.rng = rng
+
+    def run(
+        self,
+        alice_bits: Sequence[int],
+        bob_bits: Sequence[int],
+        share_result: bool = False,
+    ) -> ProtocolResult:
+        """Execute the protocol on plaintext inputs.
+
+        Args:
+            alice_bits: the client's input bits (kept on Alice's side).
+            bob_bits: the server's input bits (transferred only via OT).
+            share_result: if True, Alice sends the decoded result back to
+                Bob (optional final step of Sec. 2.2.2).
+        """
+        circuit = self.circuit
+        alice_end, bob_end, stats = make_channel_pair()
+        times: Dict[str, float] = {}
+
+        # (i) garbling — Alice
+        start = time.perf_counter()
+        garbler = Garbler(circuit, kdf=self.kdf, rng=self.rng)
+        garbled = garbler.garble()
+        times["garble"] = time.perf_counter() - start
+
+        # (ii) data transfer + OT
+        start = time.perf_counter()
+        alice_end.send_bytes(garbled.tables_bytes(), tag="tables")
+        alice_end.send_labels(
+            list(garbled.const_labels), tag="const_labels"
+        )
+        alice_end.send_labels(
+            garbler.input_labels_for(list(circuit.alice_inputs), list(alice_bits)),
+            tag="alice_labels",
+        )
+        tables_blob = bob_end.recv_bytes()
+        const_labels = bob_end.recv_labels()
+        alice_labels = bob_end.recv_labels()
+        times["transfer"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        bob_labels = self._oblivious_transfer(
+            garbler, list(circuit.bob_inputs), list(bob_bits), stats
+        )
+        times["ot"] = time.perf_counter() - start
+
+        # (iii) evaluation — Bob
+        start = time.perf_counter()
+        evaluator = Evaluator(circuit, kdf=self.kdf)
+        received = self._parse_tables(tables_blob, garbled)
+        wire_labels = evaluator.evaluate(received, alice_labels, bob_labels)
+        output_labels = evaluator.output_labels(wire_labels)
+        times["evaluate"] = time.perf_counter() - start
+
+        # (iv) merge — Bob returns output labels, Alice decodes
+        start = time.perf_counter()
+        bob_end.send_labels(output_labels, tag="output_labels")
+        outputs = garbler.decode_outputs(alice_end.recv_labels())
+        if share_result:
+            alice_end.send_bits(outputs, tag="shared_result")
+            bob_outputs = bob_end.recv_bits()
+            if bob_outputs != outputs:
+                raise ProtocolError("result sharing corrupted")
+        times["merge"] = time.perf_counter() - start
+
+        counts = circuit.counts()
+        return ProtocolResult(
+            outputs=outputs,
+            times=times,
+            comm=stats.by_tag(),
+            n_xor=counts.xor,
+            n_non_xor=counts.non_xor,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _parse_tables(self, blob: bytes, garbled) -> "GarbledCircuitView":
+        """Rebuild the evaluator's view from the wire blob.
+
+        Deserializing (rather than handing Bob the garbler's object)
+        keeps the information flow honest: Bob sees tables and constant
+        labels only.
+        """
+        from .garble import GarbledCircuit, GarbledGate
+
+        if len(blob) % 32:
+            raise ProtocolError("corrupt garbled-table blob")
+        tables = [
+            GarbledGate.from_bytes(blob[i : i + 32])
+            for i in range(0, len(blob), 32)
+        ]
+        return GarbledCircuit(
+            tables=tables,
+            const_labels=garbled.const_labels,
+            decode_bits=[],  # withheld from the evaluator
+            tweak_base=garbled.tweak_base,
+        )
+
+    def _oblivious_transfer(
+        self,
+        garbler: Garbler,
+        wires: List[int],
+        bits: List[int],
+        stats: ChannelStats,
+    ) -> List[int]:
+        """Transfer Bob's input labels obliviously; accounts traffic."""
+        if len(wires) != len(bits):
+            raise ProtocolError("Bob's input width mismatch")
+        if not wires:
+            return []
+        pairs = []
+        for wire in wires:
+            zero, one = garbler.wire_label_pair(wire)
+            pairs.append((zero.to_bytes(16, "little"), one.to_bytes(16, "little")))
+        if len(wires) >= OT_EXTENSION_THRESHOLD:
+            chosen, transferred = extension_ot(
+                pairs, bits, group=self.ot_group, rng=self.rng
+            )
+            stats.record("a2b", "ot", transferred)
+        else:
+            chosen = self._base_ot(pairs, bits, stats)
+        return [int.from_bytes(data, "little") for data in chosen]
+
+    def _base_ot(self, pairs, bits, stats: ChannelStats) -> List[bytes]:
+        from .ot import OTReceiver, OTSender
+
+        sender = OTSender(pairs, group=self.ot_group, rng=self.rng)
+        receiver = OTReceiver(bits, group=self.ot_group, rng=self.rng)
+        c = sender.setup()
+        stats.record("a2b", "ot", (c.bit_length() + 7) // 8)
+        keys = receiver.public_keys(c)
+        stats.record(
+            "b2a", "ot", sum((k.bit_length() + 7) // 8 for k in keys)
+        )
+        responses = sender.respond(keys)
+        size = sum(
+            (g.bit_length() + 7) // 8 + len(e0) + len(e1)
+            for g, e0, e1 in responses
+        )
+        stats.record("a2b", "ot", size)
+        return receiver.recover(responses)
+
+
+def execute(
+    circuit: Circuit,
+    alice_bits: Sequence[int],
+    bob_bits: Sequence[int],
+    kdf: Optional[HashKDF] = None,
+    ot_group: OTGroup = MODP_2048,
+    rng=secrets,
+    share_result: bool = False,
+) -> ProtocolResult:
+    """One-call secure evaluation of ``circuit`` (Fig. 3 flow)."""
+    session = TwoPartySession(circuit, kdf=kdf, ot_group=ot_group, rng=rng)
+    return session.run(alice_bits, bob_bits, share_result=share_result)

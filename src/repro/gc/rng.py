@@ -1,0 +1,26 @@
+"""RNG adapter: accept both ``secrets`` and seeded ``random.Random``.
+
+Production code passes ``secrets`` (CSPRNG); tests pass a seeded
+``random.Random`` for reproducibility.  The two expose slightly
+different method names, hence this shim.
+"""
+
+from __future__ import annotations
+
+__all__ = ["rand_bits", "rand_below"]
+
+
+def rand_bits(rng, bits: int) -> int:
+    """Uniform integer with ``bits`` random bits."""
+    fn = getattr(rng, "randbits", None)
+    if fn is None:
+        fn = rng.getrandbits
+    return fn(bits)
+
+
+def rand_below(rng, bound: int) -> int:
+    """Uniform integer in ``[0, bound)``."""
+    fn = getattr(rng, "randbelow", None)
+    if fn is None:
+        return rng.randrange(bound)
+    return fn(bound)

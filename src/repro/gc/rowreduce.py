@@ -1,0 +1,192 @@
+"""Classic and row-reduced garbling schemes (the paper's Sec. 2.3 ladder).
+
+The paper narrates the optimization history it builds on: the original
+four-row garbled table, Naor-Pinkas-Sumner *row reduction* to three rows
+(-25% traffic), and finally *half-gates* (two rows) — the scheme the
+main engine (:mod:`repro.gc.garble`) implements.  This module implements
+the two earlier rungs, point-and-permute style and free-XOR compatible,
+so the ladder can be measured instead of cited:
+
+======================  ==========  =======================
+scheme                  rows/gate   bits/gate (k = 128)
+======================  ==========  =======================
+classic (P&P)           4           512
+GRR3 (row reduction)    3           384
+half-gates (main path)  2           256
+======================  ==========  =======================
+
+These garblers are self-contained (garble + evaluate over a whole
+circuit) and used by the scheme-ablation benchmark; the production
+protocol stays on half-gates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import secrets
+from typing import Dict, List, Sequence, Tuple
+
+from ..circuits.gates import GateType
+from ..circuits.netlist import CONST_ONE, CONST_ZERO, Circuit
+from ..errors import GarblingError
+from .labels import LabelStore, permute_bit
+
+__all__ = ["RowGarbled", "garble_rows", "evaluate_rows", "ROWS_PER_GATE"]
+
+ROWS_PER_GATE = {"classic": 4, "grr3": 3}
+
+
+def _hash_pair(label_a: int, label_b: int, tweak: int) -> int:
+    """Two-label random oracle for table-based schemes."""
+    data = (
+        label_a.to_bytes(16, "little")
+        + label_b.to_bytes(16, "little")
+        + tweak.to_bytes(8, "little")
+    )
+    return int.from_bytes(hashlib.sha256(data).digest()[:16], "little")
+
+
+@dataclasses.dataclass
+class RowGarbled:
+    """Evaluator material for a row-table garbled circuit.
+
+    Attributes:
+        scheme: "classic" or "grr3".
+        tables: per non-free gate, the ciphertext rows indexed by the
+            evaluator's color bits ``(sa, sb)`` (row (0,0) omitted for
+            GRR3 — it decrypts to all-zero by construction).
+        const_labels: labels of the constant wires.
+    """
+
+    scheme: str
+    tables: List[Dict[Tuple[int, int], int]]
+    const_labels: Tuple[int, int]
+
+    @property
+    def size_bytes(self) -> int:
+        """Transferred table bytes (16 per row)."""
+        return 16 * sum(len(t) for t in self.tables)
+
+
+def garble_rows(
+    circuit: Circuit,
+    scheme: str = "grr3",
+    rng=secrets,
+) -> Tuple[LabelStore, RowGarbled]:
+    """Garble with the classic four-row or GRR3 three-row scheme.
+
+    Free-XOR still applies (XOR/XNOR/NOT are label algebra); only
+    non-free gates get tables.
+
+    Returns:
+        ``(label_store, garbled)`` — the store is the garbler's secret.
+    """
+    if scheme not in ROWS_PER_GATE:
+        raise GarblingError(f"unknown scheme {scheme!r}")
+    labels = LabelStore(rng=rng)
+    for wire in (CONST_ZERO, CONST_ONE):
+        labels.assign_fresh(wire)
+    for wire in circuit.alice_inputs:
+        labels.assign_fresh(wire)
+    for wire in circuit.bob_inputs:
+        labels.assign_fresh(wire)
+    for wire in circuit.state_inputs:
+        labels.assign_fresh(wire)
+
+    delta = labels.delta
+    tables: List[Dict[Tuple[int, int], int]] = []
+    tweak = 0
+    for gate in circuit.gates:
+        op = gate.op
+        if op is GateType.XOR:
+            labels.set_zero(gate.out, labels.zero(gate.a) ^ labels.zero(gate.b))
+            continue
+        if op is GateType.XNOR:
+            labels.set_zero(
+                gate.out, labels.zero(gate.a) ^ labels.zero(gate.b) ^ delta
+            )
+            continue
+        if op is GateType.NOT:
+            labels.set_zero(gate.out, labels.zero(gate.a) ^ delta)
+            continue
+        if op is GateType.BUF:
+            labels.set_zero(gate.out, labels.zero(gate.a))
+            continue
+
+        zero_a = labels.zero(gate.a)
+        zero_b = labels.zero(gate.b)
+
+        def label_with_color(zero_label: int, color: int) -> Tuple[int, int]:
+            """(label, semantic value) of the wire label with ``color``."""
+            base_color = permute_bit(zero_label)
+            semantic = color ^ base_color
+            return zero_label ^ (delta if semantic else 0), semantic
+
+        if scheme == "grr3":
+            # the (0,0)-color row defines the output label for free
+            a00, va = label_with_color(zero_a, 0)
+            b00, vb = label_with_color(zero_b, 0)
+            out_for_00 = _hash_pair(a00, b00, tweak)
+            semantic_00 = op.eval(va, vb)
+            zero_out = out_for_00 ^ (delta if semantic_00 else 0)
+        else:
+            zero_out = labels.assign_fresh(gate.out)
+        labels.set_zero(gate.out, zero_out)
+
+        rows: Dict[Tuple[int, int], int] = {}
+        for sa in (0, 1):
+            for sb in (0, 1):
+                if scheme == "grr3" and (sa, sb) == (0, 0):
+                    continue
+                label_a, va = label_with_color(zero_a, sa)
+                label_b, vb = label_with_color(zero_b, sb)
+                out_label = labels.select(gate.out, op.eval(va, vb))
+                rows[(sa, sb)] = (
+                    _hash_pair(label_a, label_b, tweak) ^ out_label
+                )
+        tables.append(rows)
+        tweak += 1
+
+    garbled = RowGarbled(
+        scheme=scheme,
+        tables=tables,
+        const_labels=(labels.select(CONST_ZERO, 0), labels.select(CONST_ONE, 1)),
+    )
+    return labels, garbled
+
+
+def evaluate_rows(
+    circuit: Circuit,
+    garbled: RowGarbled,
+    alice_labels: Sequence[int],
+    bob_labels: Sequence[int],
+) -> List[int]:
+    """Evaluate a row-table garbling; returns the output labels."""
+    wire_labels: Dict[int, int] = {
+        CONST_ZERO: garbled.const_labels[0],
+        CONST_ONE: garbled.const_labels[1],
+    }
+    wire_labels.update(zip(circuit.alice_inputs, alice_labels))
+    wire_labels.update(zip(circuit.bob_inputs, bob_labels))
+    table_iter = iter(garbled.tables)
+    tweak = 0
+    for gate in circuit.gates:
+        op = gate.op
+        if op in (GateType.XOR, GateType.XNOR):
+            wire_labels[gate.out] = wire_labels[gate.a] ^ wire_labels[gate.b]
+            continue
+        if op in (GateType.NOT, GateType.BUF):
+            wire_labels[gate.out] = wire_labels[gate.a]
+            continue
+        rows = next(table_iter)
+        label_a = wire_labels[gate.a]
+        label_b = wire_labels[gate.b]
+        colors = (permute_bit(label_a), permute_bit(label_b))
+        mask = _hash_pair(label_a, label_b, tweak)
+        if garbled.scheme == "grr3" and colors == (0, 0):
+            wire_labels[gate.out] = mask
+        else:
+            wire_labels[gate.out] = mask ^ rows[colors]
+        tweak += 1
+    return [wire_labels[w] for w in circuit.outputs]

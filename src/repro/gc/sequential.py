@@ -1,0 +1,195 @@
+"""Sequential garbled-circuit execution (TinyGarble-style, paper Sec. 3.5).
+
+The same folded core netlist is garbled once per clock cycle with fresh
+labels, *except* register wires: the zero-label of a register's d-wire at
+cycle ``i`` becomes the zero-label of its q-wire at cycle ``i+1``, so no
+extra transfer or re-keying is needed for state.  Tweaks advance across
+cycles so the garbling oracle is never reused.
+
+This is also where the paper's Fig. 5 pipeline lives: while Bob evaluates
+cycle ``i``, Alice can already garble cycle ``i+1``.  The session records
+per-cycle garble/evaluate durations; :mod:`repro.analysis.timeline` turns
+them into the overlapped schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import secrets
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..circuits.sequential import SequentialCircuit
+from ..errors import ProtocolError
+from .channel import make_channel_pair
+from .cipher import HashKDF, default_kdf
+from .evaluate import Evaluator
+from .garble import Garbler
+from .labels import LabelStore
+from .ot import MODP_2048, OTGroup
+from .ot_extension import extension_ot
+
+__all__ = ["SequentialResult", "SequentialSession"]
+
+
+@dataclasses.dataclass
+class SequentialResult:
+    """Outcome of a multi-cycle sequential execution.
+
+    Attributes:
+        outputs_per_cycle: decoded output bits for every cycle.
+        garble_times: per-cycle garbling durations (Alice).
+        evaluate_times: per-cycle evaluation durations (Bob).
+        comm: per-tag byte counts.
+        n_non_xor_per_cycle: non-free gates garbled per cycle.
+    """
+
+    outputs_per_cycle: List[List[int]]
+    garble_times: List[float]
+    evaluate_times: List[float]
+    comm: Dict[str, int]
+    n_non_xor_per_cycle: int
+
+    @property
+    def final_outputs(self) -> List[int]:
+        """Outputs of the last cycle (the usual result of a folded MAC)."""
+        return self.outputs_per_cycle[-1]
+
+
+class SequentialSession:
+    """Garble/evaluate a :class:`SequentialCircuit` for many cycles."""
+
+    def __init__(
+        self,
+        sequential: SequentialCircuit,
+        kdf: Optional[HashKDF] = None,
+        ot_group: OTGroup = MODP_2048,
+        rng=secrets,
+    ) -> None:
+        self.sequential = sequential
+        self.kdf = kdf or default_kdf()
+        self.ot_group = ot_group
+        self.rng = rng
+
+    def run(
+        self,
+        alice_cycles: Sequence[Sequence[int]],
+        bob_cycles: Sequence[Sequence[int]],
+        cycles: Optional[int] = None,
+    ) -> SequentialResult:
+        """Execute the protocol for ``cycles`` clock cycles.
+
+        Input conventions match
+        :meth:`repro.circuits.sequential.SequentialCircuit.run`: a single
+        entry is broadcast to every cycle.
+        """
+        seq = self.sequential
+        core = seq.core
+        n_cycles = cycles or max(len(alice_cycles), len(bob_cycles), 1)
+        alice_end, bob_end, stats = make_channel_pair()
+
+        garbler_store = LabelStore(rng=self.rng)
+        evaluator = Evaluator(core, kdf=self.kdf)
+        garble_times: List[float] = []
+        evaluate_times: List[float] = []
+        outputs: List[List[int]] = []
+
+        # cycle-0 state: init bits are public, so the garbler simply sends
+        # the labels of the init values
+        garbler_state_zero: Optional[List[int]] = None
+        eval_state_labels: Optional[List[int]] = None
+        tweak = 0
+        d_wires = [reg.d_wire for reg in seq.registers]
+        init_bits = seq.initial_state()
+
+        for cycle in range(n_cycles):
+            alice_bits = SequentialCircuit._cycle_input(
+                alice_cycles, cycle, core.n_alice
+            )
+            bob_bits = SequentialCircuit._cycle_input(
+                bob_cycles, cycle, core.n_bob
+            )
+
+            start = time.perf_counter()
+            garbler = Garbler(
+                core, kdf=self.kdf, label_store=garbler_store, rng=self.rng
+            )
+            garbled = garbler.garble(
+                state_zero_labels=garbler_state_zero, tweak_base=tweak
+            )
+            if cycle == 0:
+                eval_state_labels = [
+                    garbler_store.select(wire, bit)
+                    for wire, bit in zip(core.state_inputs, init_bits)
+                ]
+            garble_times.append(time.perf_counter() - start)
+
+            # transfer: tables + Alice labels (every cycle), OT for Bob
+            alice_end.send_bytes(garbled.tables_bytes(), tag="tables")
+            alice_end.send_labels(list(garbled.const_labels), tag="const_labels")
+            alice_end.send_labels(
+                garbler.input_labels_for(list(core.alice_inputs), alice_bits),
+                tag="alice_labels",
+            )
+            blob = bob_end.recv_bytes()
+            const_labels = bob_end.recv_labels()
+            alice_labels = bob_end.recv_labels()
+            bob_labels = self._oblivious_transfer(
+                garbler, list(core.bob_inputs), bob_bits, stats
+            )
+
+            start = time.perf_counter()
+            from .garble import GarbledCircuit, GarbledGate
+
+            received = GarbledCircuit(
+                tables=[
+                    GarbledGate.from_bytes(blob[i : i + 32])
+                    for i in range(0, len(blob), 32)
+                ],
+                const_labels=(const_labels[0], const_labels[1]),
+                decode_bits=[],
+                tweak_base=tweak,
+            )
+            wire_labels = evaluator.evaluate(
+                received,
+                alice_labels,
+                bob_labels,
+                state_labels=eval_state_labels,
+            )
+            evaluate_times.append(time.perf_counter() - start)
+
+            # merge step for this cycle's outputs
+            bob_end.send_labels(
+                evaluator.output_labels(wire_labels), tag="output_labels"
+            )
+            outputs.append(garbler.decode_outputs(alice_end.recv_labels()))
+
+            # carry register labels into the next cycle
+            garbler_state_zero = garbler.state_zero_labels_out(d_wires)
+            eval_state_labels = [wire_labels[w] for w in d_wires]
+            tweak += 2 * len(garbled.tables)
+
+        return SequentialResult(
+            outputs_per_cycle=outputs,
+            garble_times=garble_times,
+            evaluate_times=evaluate_times,
+            comm=stats.by_tag(),
+            n_non_xor_per_cycle=core.counts().non_xor,
+        )
+
+    def _oblivious_transfer(self, garbler, wires, bits, stats) -> List[int]:
+        if len(wires) != len(bits):
+            raise ProtocolError("Bob's input width mismatch")
+        if not wires:
+            return []
+        pairs = []
+        for wire in wires:
+            zero, one = garbler.wire_label_pair(wire)
+            pairs.append(
+                (zero.to_bytes(16, "little"), one.to_bytes(16, "little"))
+            )
+        chosen, transferred = extension_ot(
+            pairs, bits, group=self.ot_group, rng=self.rng
+        )
+        stats.record("a2b", "ot", transferred)
+        return [int.from_bytes(data, "little") for data in chosen]

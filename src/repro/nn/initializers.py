@@ -1,0 +1,27 @@
+"""Weight initializers for the numpy DL substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_uniform", "zeros"]
+
+
+def glorot_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform — default for tanh/sigmoid networks."""
+    fan_in = shape[0] if len(shape) > 1 else shape[0]
+    fan_out = shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """He uniform — default for ReLU networks."""
+    fan_in = int(np.prod(shape[:-1]))
+    limit = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape, rng: np.random.Generator = None) -> np.ndarray:
+    """All-zero tensor (biases)."""
+    return np.zeros(shape)

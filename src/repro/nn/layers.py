@@ -1,0 +1,399 @@
+"""Neural-network layers (numpy forward/backward).
+
+The substrate DeepSecure assumes: fully-connected and convolutional
+networks with max/mean pooling and sigmoid/tanh/ReLU non-linearities
+(paper Table 1).  Everything is batch-first float64 numpy; the trained
+models are then quantized (:mod:`repro.nn.quantize`) and compiled to
+netlists (:mod:`repro.compile`).
+
+Shapes: Dense consumes ``(batch, features)``; Conv2D/pooling consume
+``(batch, height, width, channels)`` and Flatten bridges the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import TrainingError
+from .initializers import glorot_uniform, he_uniform, zeros
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "MeanPool2D",
+    "Flatten",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+]
+
+
+class Layer:
+    """Base layer: forward/backward plus parameter bookkeeping."""
+
+    #: activation-kind tag used by the netlist compiler ("relu", ...)
+    kind = "generic"
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> Tuple[int, ...]:
+        """Allocate parameters; returns the output shape (no batch dim)."""
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute outputs (caching whatever backward needs)."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate the loss gradient; stores parameter grads."""
+        raise NotImplementedError
+
+    def parameters(self) -> List[np.ndarray]:
+        """Trainable tensors (may be empty)."""
+        return []
+
+    def gradients(self) -> List[np.ndarray]:
+        """Gradients aligned with :meth:`parameters`."""
+        return []
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = x W + b`` (paper Table 1 "FC").
+
+    Args:
+        units: output dimensionality.
+        use_bias: include an additive bias (the paper's formulas omit it;
+            default off so gate counts match the published model).
+    """
+
+    kind = "dense"
+
+    def __init__(self, units: int, use_bias: bool = False) -> None:
+        if units < 1:
+            raise TrainingError("units must be positive")
+        self.units = units
+        self.use_bias = use_bias
+        self.weights: Optional[np.ndarray] = None
+        self.bias: Optional[np.ndarray] = None
+        self._x: Optional[np.ndarray] = None
+        self.grad_w: Optional[np.ndarray] = None
+        self.grad_b: Optional[np.ndarray] = None
+        #: boolean mask applied to weights (network pruning, Sec. 3.2.2)
+        self.mask: Optional[np.ndarray] = None
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 1:
+            raise TrainingError(
+                f"Dense expects flat inputs, got shape {input_shape}"
+            )
+        self.weights = glorot_uniform((input_shape[0], self.units), rng)
+        self.bias = zeros((self.units,)) if self.use_bias else None
+        return (self.units,)
+
+    def forward(self, x, training=False):
+        if self.mask is not None:
+            self.weights *= self.mask
+        self._x = x if training else None
+        y = x @ self.weights
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+    def backward(self, grad):
+        self.grad_w = self._x.T @ grad
+        if self.mask is not None:
+            self.grad_w *= self.mask
+        if self.bias is not None:
+            self.grad_b = grad.sum(axis=0)
+        return grad @ self.weights.T
+
+    def parameters(self):
+        params = [self.weights]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def gradients(self):
+        grads = [self.grad_w]
+        if self.bias is not None:
+            grads.append(self.grad_b)
+        return grads
+
+    @property
+    def mac_count(self) -> int:
+        """Multiply-accumulate operations per sample (dense)."""
+        return int(self.weights.shape[0] * self.weights.shape[1])
+
+    @property
+    def nonzero_macs(self) -> int:
+        """MACs that survive pruning (sparsity-aware garbling cost)."""
+        if self.mask is None:
+            return self.mac_count
+        return int(self.mask.sum())
+
+
+class Conv2D(Layer):
+    """2D convolution (valid padding) — paper Table 1 "C".
+
+    Args:
+        filters: number of output channels (the paper's "map-count").
+        kernel_size: square kernel side ``k``.
+        stride: spatial stride.
+        use_bias: additive per-channel bias.
+    """
+
+    kind = "conv2d"
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int,
+        stride: int = 1,
+        use_bias: bool = False,
+    ) -> None:
+        self.filters = filters
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.use_bias = use_bias
+        self.weights: Optional[np.ndarray] = None  # (k, k, cin, cout)
+        self.bias: Optional[np.ndarray] = None
+        self.grad_w = None
+        self.grad_b = None
+        self._cols = None
+        self._x_shape = None
+        self.mask: Optional[np.ndarray] = None
+
+    def build(self, input_shape, rng):
+        if len(input_shape) != 3:
+            raise TrainingError("Conv2D expects (H, W, C) inputs")
+        h, w, cin = input_shape
+        k, s = self.kernel_size, self.stride
+        out_h = (h - k) // s + 1
+        out_w = (w - k) // s + 1
+        if out_h < 1 or out_w < 1:
+            raise TrainingError("kernel larger than input")
+        self.weights = he_uniform((k, k, cin, self.filters), rng)
+        self.bias = zeros((self.filters,)) if self.use_bias else None
+        self._out_spatial = (out_h, out_w)
+        return (out_h, out_w, self.filters)
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        batch, h, w, cin = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h, out_w = self._out_spatial
+        cols = np.empty((batch, out_h, out_w, k, k, cin), dtype=x.dtype)
+        for i in range(k):
+            for j in range(k):
+                cols[:, :, :, i, j, :] = x[
+                    :, i : i + s * out_h : s, j : j + s * out_w : s, :
+                ]
+        return cols.reshape(batch * out_h * out_w, k * k * cin)
+
+    def forward(self, x, training=False):
+        if self.mask is not None:
+            self.weights *= self.mask
+        batch = x.shape[0]
+        out_h, out_w = self._out_spatial
+        cols = self._im2col(x)
+        w2d = self.weights.reshape(-1, self.filters)
+        y = cols @ w2d
+        if self.bias is not None:
+            y = y + self.bias
+        if training:
+            self._cols = cols
+            self._x_shape = x.shape
+        return y.reshape(batch, out_h, out_w, self.filters)
+
+    def backward(self, grad):
+        batch, out_h, out_w, _ = grad.shape
+        grad2d = grad.reshape(-1, self.filters)
+        self.grad_w = (self._cols.T @ grad2d).reshape(self.weights.shape)
+        if self.mask is not None:
+            self.grad_w *= self.mask
+        if self.bias is not None:
+            self.grad_b = grad2d.sum(axis=0)
+        w2d = self.weights.reshape(-1, self.filters)
+        dcols = grad2d @ w2d.T
+        dcols = dcols.reshape(
+            batch, out_h, out_w, self.kernel_size, self.kernel_size, -1
+        )
+        dx = np.zeros(self._x_shape)
+        s = self.stride
+        for i in range(self.kernel_size):
+            for j in range(self.kernel_size):
+                dx[:, i : i + s * out_h : s, j : j + s * out_w : s, :] += dcols[
+                    :, :, :, i, j, :
+                ]
+        return dx
+
+    def parameters(self):
+        params = [self.weights]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def gradients(self):
+        grads = [self.grad_w]
+        if self.bias is not None:
+            grads.append(self.grad_b)
+        return grads
+
+    @property
+    def mac_count(self) -> int:
+        """MACs per sample: kernel volume times output positions."""
+        out_h, out_w = self._out_spatial
+        k = self.kernel_size
+        cin = self.weights.shape[2]
+        return int(k * k * cin * out_h * out_w * self.filters)
+
+    @property
+    def nonzero_macs(self) -> int:
+        """MACs after pruning (each weight reused per output position)."""
+        if self.mask is None:
+            return self.mac_count
+        out_h, out_w = self._out_spatial
+        return int(self.mask.sum() * out_h * out_w)
+
+
+class _Pool2D(Layer):
+    """Shared machinery for max/mean pooling."""
+
+    def __init__(self, pool_size: int, stride: Optional[int] = None) -> None:
+        self.pool_size = pool_size
+        self.stride = stride if stride is not None else pool_size
+
+    def build(self, input_shape, rng):
+        h, w, c = input_shape
+        k, s = self.pool_size, self.stride
+        self._out_spatial = ((h - k) // s + 1, (w - k) // s + 1)
+        return (*self._out_spatial, c)
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        out_h, out_w = self._out_spatial
+        k, s = self.pool_size, self.stride
+        batch, _, _, c = x.shape
+        win = np.empty((batch, out_h, out_w, k * k, c), dtype=x.dtype)
+        idx = 0
+        for i in range(k):
+            for j in range(k):
+                win[:, :, :, idx, :] = x[
+                    :, i : i + s * out_h : s, j : j + s * out_w : s, :
+                ]
+                idx += 1
+        return win
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling over overlapping or disjoint windows ("M1P")."""
+
+    kind = "maxpool"
+
+    def forward(self, x, training=False):
+        win = self._windows(x)
+        if training:
+            self._win_argmax = win.argmax(axis=3)
+            self._x_shape = x.shape
+        return win.max(axis=3)
+
+    def backward(self, grad):
+        batch, out_h, out_w, c = grad.shape
+        k, s = self.pool_size, self.stride
+        dx = np.zeros(self._x_shape)
+        for i in range(k):
+            for j in range(k):
+                idx = i * k + j
+                mask = self._win_argmax == idx
+                dx[:, i : i + s * out_h : s, j : j + s * out_w : s, :] += (
+                    grad * mask
+                )
+        return dx
+
+    def comparisons_per_sample(self, channels: int) -> int:
+        """CMP+MUX stages garbled per sample (pool area minus one each)."""
+        out_h, out_w = self._out_spatial
+        return (self.pool_size ** 2 - 1) * out_h * out_w * channels
+
+
+class MeanPool2D(_Pool2D):
+    """Mean pooling over non-overlapping windows ("M2P")."""
+
+    kind = "meanpool"
+
+    def forward(self, x, training=False):
+        win = self._windows(x)
+        if training:
+            self._x_shape = x.shape
+        return win.mean(axis=3)
+
+    def backward(self, grad):
+        k, s = self.pool_size, self.stride
+        batch, out_h, out_w, c = grad.shape
+        dx = np.zeros(self._x_shape)
+        share = grad / (k * k)
+        for i in range(k):
+            for j in range(k):
+                dx[:, i : i + s * out_h : s, j : j + s * out_w : s, :] += share
+        return dx
+
+
+class Flatten(Layer):
+    """Reshape (H, W, C) feature maps to vectors."""
+
+    kind = "flatten"
+
+    def build(self, input_shape, rng):
+        self._input_shape = input_shape
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x, training=False):
+        self._batch_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad):
+        return grad.reshape(self._batch_shape)
+
+
+class ReLU(Layer):
+    """Rectified linear unit (a single mux in GC, Sec. 2.1)."""
+
+    kind = "relu"
+
+    def forward(self, x, training=False):
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad):
+        return grad * self._mask
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid (CORDIC/LUT/PLAN circuits in GC)."""
+
+    kind = "sigmoid"
+
+    def forward(self, x, training=False):
+        y = 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+        if training:
+            self._y = y
+        return y
+
+    def backward(self, grad):
+        return grad * self._y * (1.0 - self._y)
+
+
+class Tanh(Layer):
+    """Tangent hyperbolic (CORDIC/LUT/PL circuits in GC)."""
+
+    kind = "tanh"
+
+    def forward(self, x, training=False):
+        y = np.tanh(x)
+        if training:
+            self._y = y
+        return y
+
+    def backward(self, grad):
+        return grad * (1.0 - self._y ** 2)

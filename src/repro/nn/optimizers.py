@@ -1,0 +1,63 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.1, momentum: float = 0.9) -> None:
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: List[np.ndarray] = []
+
+    def step(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        """In-place update of every parameter tensor."""
+        if not self._velocity:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for param, grad, vel in zip(params, grads, self._velocity):
+            vel *= self.momentum
+            vel -= self.learning_rate * grad
+            param += vel
+
+
+class Adam:
+    """Adam (Kingma & Ba) — used when SGD converges too slowly in tests."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: List[np.ndarray] = []
+        self._v: List[np.ndarray] = []
+        self._t = 0
+
+    def step(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        """In-place Adam update."""
+        if not self._m:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        correction1 = 1.0 - self.beta1 ** self._t
+        correction2 = 1.0 - self.beta2 ** self._t
+        for param, grad, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad ** 2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

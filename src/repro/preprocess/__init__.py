@@ -1,0 +1,24 @@
+"""Data and DL-network pre-processing (paper Sec. 3.2)."""
+
+from .pipeline import PreprocessReport, condense_architecture, preprocess_model
+from .projection import (
+    ProjectionConfig,
+    ProjectionResult,
+    build_projection,
+    projection_error,
+)
+from .pruning import PruneReport, magnitude_threshold, prune_model, sparsity_map
+
+__all__ = [
+    "ProjectionConfig",
+    "ProjectionResult",
+    "build_projection",
+    "projection_error",
+    "PruneReport",
+    "prune_model",
+    "magnitude_threshold",
+    "sparsity_map",
+    "PreprocessReport",
+    "preprocess_model",
+    "condense_architecture",
+]

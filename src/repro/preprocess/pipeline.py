@@ -1,0 +1,156 @@
+"""End-to-end server-side pre-processing (paper Fig. 2, off-line step 1).
+
+Combines the two techniques:
+
+1. **Data projection** (Alg. 1): learn the dictionary, release ``W``
+   (equivalently ``U``), and *rebuild* the model with an ``r``-
+   dimensional input layer trained on the embeddings.
+2. **Network pruning** (Sec. 3.2.2): magnitude-prune the condensed model
+   and retrain.
+
+The combined MAC fold is what divides the Table 4 gate counts into the
+Table 5 ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import PreprocessError
+from ..nn.layers import Dense, Layer, ReLU, Sigmoid, Tanh
+from ..nn.model import Sequential
+from ..nn.train import TrainConfig, Trainer
+from .projection import ProjectionConfig, ProjectionResult, build_projection
+from .pruning import PruneReport, prune_model
+
+__all__ = ["PreprocessReport", "preprocess_model", "condense_architecture"]
+
+
+@dataclasses.dataclass
+class PreprocessReport:
+    """Everything the benchmarks need about a pre-processing run.
+
+    Attributes:
+        projection: Algorithm 1 output (``W`` is the public release).
+        prune: pruning report of the condensed model (None if skipped).
+        condensed: the retrained low-input-dimension (and sparse) model.
+        macs_dense: MACs of the original model.
+        macs_condensed: MACs after projection + pruning.
+        accuracy_original / accuracy_condensed: test accuracies.
+    """
+
+    projection: Optional[ProjectionResult]
+    prune: Optional[PruneReport]
+    condensed: Sequential
+    macs_dense: int
+    macs_condensed: int
+    accuracy_original: float
+    accuracy_condensed: float
+
+    @property
+    def fold(self) -> float:
+        """Overall MAC compaction (paper Table 5 "Data and Network
+        Compaction")."""
+        return self.macs_dense / max(self.macs_condensed, 1)
+
+    @property
+    def accuracy_drop(self) -> float:
+        """Accuracy lost by pre-processing (paper claims ~none)."""
+        return self.accuracy_original - self.accuracy_condensed
+
+
+def condense_architecture(
+    model: Sequential, new_input_dim: int, seed: int = 0
+) -> Sequential:
+    """Clone a dense-stack architecture with a new input width.
+
+    Only fully-connected stacks are condensable this way (the paper's
+    projection benchmarks B2-B4 are all FC networks).
+    """
+    layers: List[Layer] = []
+    for layer in model.layers:
+        if isinstance(layer, Dense):
+            layers.append(Dense(layer.units, use_bias=layer.use_bias))
+        elif isinstance(layer, (ReLU, Sigmoid, Tanh)):
+            layers.append(type(layer)())
+        else:
+            raise PreprocessError(
+                f"cannot condense architecture containing {layer.kind!r}"
+            )
+    return Sequential(
+        layers, input_shape=(new_input_dim,), seed=seed,
+        name=f"{model.name}_condensed",
+    )
+
+
+def preprocess_model(
+    model: Sequential,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    projection_config: Optional[ProjectionConfig] = None,
+    prune_sparsity: float = 0.5,
+    retrain_config: Optional[TrainConfig] = None,
+    seed: int = 0,
+) -> PreprocessReport:
+    """Run the full off-line pre-processing of Fig. 2.
+
+    Args:
+        model: trained dense model (the "primary DL architecture").
+        x_train, y_train: server-side training data.
+        x_val, y_val: validation split (drives Alg. 1's delta and the
+            accuracy columns).
+        projection_config: Alg. 1 thresholds; pass ``None`` defaults, or
+            ``ProjectionConfig(gamma=0)`` -like settings to effectively
+            skip projection.
+        prune_sparsity: fraction of weights to prune in the condensed
+            model (0 skips pruning).
+        retrain_config: hyper-parameters for both retraining passes.
+        seed: init seed for the condensed model.
+
+    Returns:
+        :class:`PreprocessReport` with the condensed model and folds.
+    """
+    retrain_config = retrain_config or TrainConfig(
+        epochs=8, learning_rate=0.05
+    )
+    accuracy_original = float((model.predict(x_val) == y_val).mean())
+    macs_dense = model.mac_count()
+
+    projection = build_projection(
+        x_train, config=projection_config or ProjectionConfig()
+    )
+    condensed = condense_architecture(model, projection.rank, seed=seed)
+    embedded_train = projection.embed(x_train)
+    embedded_val = projection.embed(x_val)
+    Trainer(condensed, retrain_config).fit(
+        embedded_train, y_train, embedded_val, y_val
+    )
+
+    prune_report: Optional[PruneReport] = None
+    if prune_sparsity > 0:
+        prune_report = prune_model(
+            condensed,
+            prune_sparsity,
+            embedded_train,
+            y_train,
+            embedded_val,
+            y_val,
+            retrain_config=retrain_config,
+        )
+    accuracy_condensed = float(
+        (condensed.predict(embedded_val) == y_val).mean()
+    )
+    return PreprocessReport(
+        projection=projection,
+        prune=prune_report,
+        condensed=condensed,
+        macs_dense=macs_dense,
+        macs_condensed=condensed.nonzero_mac_count(),
+        accuracy_original=accuracy_original,
+        accuracy_condensed=accuracy_condensed,
+    )

@@ -1,0 +1,159 @@
+"""High-level private-inference service API.
+
+Wraps the full stack — quantize, compile, garble, OT, evaluate, merge —
+behind the interface a deployment would expose: hand the service a
+trained model once, then ask it for private inferences and cost
+projections.  This is the "paid inference service" setting the paper's
+HbC discussion motivates (Sec. 2.4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import secrets
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .circuits.fixedpoint import DEFAULT_FORMAT, FixedPointFormat
+from .compile.compiler import CompiledModel, CompileOptions, compile_model
+from .compile.costmodel import CostBreakdown, GCCostModel
+from .errors import CompileError
+from .gc.cipher import HashKDF
+from .gc.ot import MODP_2048, OTGroup
+from .gc.outsourcing import OutsourcedSession
+from .gc.protocol import ProtocolResult, TwoPartySession
+from .nn.model import Sequential
+from .nn.quantize import QuantizedModel
+
+__all__ = ["InferenceRecord", "PrivateInferenceService"]
+
+
+@dataclasses.dataclass
+class InferenceRecord:
+    """One private inference: the label plus full protocol accounting."""
+
+    label: int
+    comm_bytes: int
+    times: Dict[str, float]
+    n_non_xor: int
+
+    @property
+    def wall_seconds(self) -> float:
+        """Single-thread protocol time."""
+        return sum(self.times.values())
+
+
+class PrivateInferenceService:
+    """A server-side service object for DeepSecure-style inference.
+
+    Args:
+        model: the trained float model (the server's private asset).
+        fmt: fixed-point format (paper default 1.3.12; smaller formats
+            shrink the circuit for interactive use).
+        options: compiler options (activation variant, output kind).
+        kdf / ot_group / rng: protocol parameters.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        fmt: FixedPointFormat = DEFAULT_FORMAT,
+        options: Optional[CompileOptions] = None,
+        kdf: Optional[HashKDF] = None,
+        ot_group: OTGroup = MODP_2048,
+        rng=secrets,
+    ) -> None:
+        options = options or CompileOptions(activation="cordic", output="argmax")
+        if options.output != "argmax":
+            raise CompileError("the service API serves labels (argmax)")
+        variant = "exact" if options.activation == "exact" else "cordic"
+        self.quantized = QuantizedModel(model, fmt, activation_variant=variant)
+        self.compiled: CompiledModel = compile_model(self.quantized, options)
+        self._server_bits = self.compiled.server_bits()
+        self.kdf = kdf
+        self.ot_group = ot_group
+        self.rng = rng
+        self.history: List[InferenceRecord] = []
+
+    # -- inference --------------------------------------------------------
+
+    def infer(self, sample: np.ndarray, outsourced: bool = False) -> InferenceRecord:
+        """Run one private inference (full garbled protocol).
+
+        Args:
+            sample: the client's raw feature vector.
+            outsourced: run through the XOR-share proxy flow (Sec. 3.3)
+                instead of the direct two-party protocol.
+        """
+        client_bits = self.compiled.client_bits(sample)
+        if outsourced:
+            session = OutsourcedSession(
+                self.compiled.circuit,
+                kdf=self.kdf,
+                ot_group=self.ot_group,
+                rng=self.rng,
+            )
+            outcome = session.run(client_bits, self._server_bits)
+            result: ProtocolResult = outcome.proxy_result
+            outputs = outcome.outputs
+        else:
+            session = TwoPartySession(
+                self.compiled.circuit,
+                kdf=self.kdf,
+                ot_group=self.ot_group,
+                rng=self.rng,
+            )
+            result = session.run(client_bits, self._server_bits)
+            outputs = result.outputs
+        record = InferenceRecord(
+            label=self.compiled.decode_output(outputs),
+            comm_bytes=result.total_comm_bytes,
+            times=dict(result.times),
+            n_non_xor=result.n_non_xor,
+        )
+        self.history.append(record)
+        return record
+
+    def infer_batch(self, samples: np.ndarray) -> List[int]:
+        """Private inference over a batch (one protocol run per sample —
+        GC has no batching discount, which is Fig. 6's whole point)."""
+        return [self.infer(sample).label for sample in samples]
+
+    def cleartext_label(self, sample: np.ndarray) -> int:
+        """The reference label the server would compute in the clear."""
+        return int(self.quantized.predict(np.asarray(sample)[None])[0])
+
+    # -- cost projection -------------------------------------------------------
+
+    def cost_estimate(
+        self, n_samples: int = 1, cost_model: Optional[GCCostModel] = None
+    ) -> CostBreakdown:
+        """Project per-batch cost from the compiled circuit's gate counts.
+
+        Uses the paper's testbed coefficients by default; pass a model
+        built from :func:`repro.analysis.characterize` for this host.
+        """
+        model = cost_model or GCCostModel()
+        counts = self.compiled.circuit.counts()
+        single = model.breakdown(counts)
+        return CostBreakdown(
+            xor=single.xor * n_samples,
+            non_xor=single.non_xor * n_samples,
+            comm_bytes=single.comm_bytes * n_samples,
+            computation_s=single.computation_s * n_samples,
+            execution_s=single.execution_s * n_samples,
+        )
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    @property
+    def circuit_summary(self) -> str:
+        """One-line description of the compiled netlist."""
+        counts = self.compiled.circuit.counts()
+        return (
+            f"{self.compiled.n_features} features -> "
+            f"{self.compiled.n_classes} classes | "
+            f"{counts.xor} XOR + {counts.non_xor} non-XOR gates | "
+            f"{self.compiled.fmt.describe()}"
+        )

@@ -1,0 +1,186 @@
+"""The paper's four benchmarks (Sec. 4.5), in two forms.
+
+1. **Paper-scale abstract architectures** for the analytic gate/cost
+   model — these regenerate Tables 4 and 5.
+2. **Trainable scaled models** on the synthetic datasets for end-to-end
+   experiments (pre-processing folds, accuracy retention, full GC runs
+   on down-scaled instances).
+
+Benchmark 1's published gate totals follow the paper's in-text
+arithmetic "5 x 13 x 13 = 865" (actually 845); ``paper_arithmetic=True``
+reproduces the published numbers, ``False`` the structurally correct
+ones (see DESIGN.md discrepancy #1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .compile.gatecount import Architecture, activation, conv, fc, softmax
+from .data import generate_audio_features, generate_digits, generate_sensing
+from .nn import Conv2D, Dense, Flatten, ReLU, Sequential, Sigmoid, Tanh
+
+__all__ = [
+    "benchmark1_architecture",
+    "benchmark2_architecture",
+    "benchmark3_architecture",
+    "benchmark4_architecture",
+    "PAPER_ARCHITECTURES",
+    "PAPER_FOLDS",
+    "build_benchmark1_model",
+    "build_benchmark2_model",
+    "build_benchmark3_model",
+    "build_benchmark4_model",
+    "benchmark_dataset",
+]
+
+#: Table 5's "Data and Network Compaction" folds per benchmark.
+PAPER_FOLDS = {"benchmark1": 9, "benchmark2": 12, "benchmark3": 6, "benchmark4": 120}
+
+
+def benchmark1_architecture(paper_arithmetic: bool = True) -> Architecture:
+    """28x28-5C2-ReLu-100FC-ReLu-10FC-Softmax (MNIST CNN, from [8])."""
+    conv_outputs = 5 * 13 * 13  # 845 feature-map units
+    fc_inputs = 865 if paper_arithmetic else conv_outputs
+    return Architecture(
+        name="benchmark1",
+        description="MNIST CNN (CryptoNets architecture)",
+        layers=(
+            conv(kernel_volume=5 * 5, output_units=conv_outputs),
+            activation("relu", conv_outputs),
+            fc(fc_inputs, 100),
+            activation("relu", 100),
+            fc(100, 10),
+            softmax(10),
+        ),
+    )
+
+
+def benchmark2_architecture() -> Architecture:
+    """28x28-300FC-Sigmoid-100FC-Sigmoid-10FC-Softmax (LeNet-300-100)."""
+    return Architecture(
+        name="benchmark2",
+        description="LeNet-300-100 MLP",
+        layers=(
+            fc(784, 300),
+            activation("sigmoid", 300),
+            fc(300, 100),
+            activation("sigmoid", 100),
+            fc(100, 10),
+            softmax(10),
+        ),
+    )
+
+
+def benchmark3_architecture() -> Architecture:
+    """617-50FC-Tanh-26FC-Softmax (ISOLET audio DNN)."""
+    return Architecture(
+        name="benchmark3",
+        description="ISOLET audio DNN",
+        layers=(
+            fc(617, 50),
+            activation("tanh", 50),
+            fc(50, 26),
+            softmax(26),
+        ),
+    )
+
+
+def benchmark4_architecture() -> Architecture:
+    """5625-2000FC-Tanh-500FC-Tanh-19FC-Softmax (smart-sensing DNN)."""
+    return Architecture(
+        name="benchmark4",
+        description="DSA smart-sensing DNN",
+        layers=(
+            fc(5625, 2000),
+            activation("tanh", 2000),
+            fc(2000, 500),
+            activation("tanh", 500),
+            fc(500, 19),
+            softmax(19),
+        ),
+    )
+
+
+PAPER_ARCHITECTURES: Dict[str, Architecture] = {
+    "benchmark1": benchmark1_architecture(),
+    "benchmark2": benchmark2_architecture(),
+    "benchmark3": benchmark3_architecture(),
+    "benchmark4": benchmark4_architecture(),
+}
+
+
+# ---------------------------------------------------------------------------
+# trainable (optionally down-scaled) models on the synthetic datasets
+# ---------------------------------------------------------------------------
+
+
+def build_benchmark1_model(scale: float = 1.0, seed: int = 0) -> Sequential:
+    """The B1 CNN; ``scale`` shrinks channel/unit counts for tests."""
+    filters = max(1, round(5 * scale))
+    hidden = max(4, round(100 * scale))
+    return Sequential(
+        [
+            Conv2D(filters, kernel_size=5, stride=2),
+            ReLU(),
+            Flatten(),
+            Dense(hidden),
+            ReLU(),
+            Dense(10),
+        ],
+        input_shape=(28, 28, 1),
+        seed=seed,
+        name="benchmark1",
+    )
+
+
+def build_benchmark2_model(scale: float = 1.0, seed: int = 0) -> Sequential:
+    """LeNet-300-100; ``scale`` shrinks hidden widths."""
+    h1 = max(4, round(300 * scale))
+    h2 = max(4, round(100 * scale))
+    return Sequential(
+        [Dense(h1), Sigmoid(), Dense(h2), Sigmoid(), Dense(10)],
+        input_shape=(784,),
+        seed=seed,
+        name="benchmark2",
+    )
+
+
+def build_benchmark3_model(scale: float = 1.0, seed: int = 0) -> Sequential:
+    """617-50-26 audio DNN."""
+    hidden = max(4, round(50 * scale))
+    return Sequential(
+        [Dense(hidden), Tanh(), Dense(26)],
+        input_shape=(617,),
+        seed=seed,
+        name="benchmark3",
+    )
+
+
+def build_benchmark4_model(scale: float = 1.0, seed: int = 0) -> Sequential:
+    """5625-2000-500-19 smart-sensing DNN; scale well below 1 for tests."""
+    h1 = max(8, round(2000 * scale))
+    h2 = max(4, round(500 * scale))
+    return Sequential(
+        [Dense(h1), Tanh(), Dense(h2), Tanh(), Dense(19)],
+        input_shape=(5625,),
+        seed=seed,
+        name="benchmark4",
+    )
+
+
+def benchmark_dataset(
+    name: str, n_samples: int, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The synthetic dataset matching a benchmark's input shape."""
+    if name == "benchmark1":
+        return generate_digits(n_samples, seed=seed)
+    if name == "benchmark2":
+        return generate_digits(n_samples, seed=seed, flat=True)
+    if name == "benchmark3":
+        return generate_audio_features(n_samples, seed=seed)
+    if name == "benchmark4":
+        return generate_sensing(n_samples, seed=seed)
+    raise KeyError(f"unknown benchmark {name!r}")

@@ -1,0 +1,154 @@
+"""Unit tests for CircuitBuilder peephole optimization."""
+
+import pytest
+
+from repro.circuits import CONST_ONE, CONST_ZERO, CircuitBuilder
+from repro.errors import CircuitError
+
+
+class TestConstantFolding:
+    def test_xor_identities(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(1)[0]
+        assert bld.emit_xor(a, a) == CONST_ZERO
+        assert bld.emit_xor(a, bld.zero) == a
+        assert bld.emit_xor(bld.zero, a) == a
+        assert bld.gate_count == 0
+
+    def test_xor_with_one_is_not(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(1)[0]
+        n = bld.emit_xor(a, bld.one)
+        assert n == bld.emit_not(a)
+        assert bld.non_xor_count() == 0
+
+    def test_xor_with_complement_is_one(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(1)[0]
+        n = bld.emit_not(a)
+        assert bld.emit_xor(a, n) == CONST_ONE
+
+    def test_and_identities(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(1)[0]
+        assert bld.emit_and(a, a) == a
+        assert bld.emit_and(a, bld.zero) == CONST_ZERO
+        assert bld.emit_and(a, bld.one) == a
+        assert bld.emit_and(a, bld.emit_not(a)) == CONST_ZERO
+        assert bld.non_xor_count() == 0
+
+    def test_or_identities(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(1)[0]
+        assert bld.emit_or(a, a) == a
+        assert bld.emit_or(a, bld.one) == CONST_ONE
+        assert bld.emit_or(a, bld.zero) == a
+        assert bld.emit_or(a, bld.emit_not(a)) == CONST_ONE
+
+    def test_andn_identities(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(1)[0]
+        assert bld.emit_andn(a, a) == CONST_ZERO
+        assert bld.emit_andn(a, bld.zero) == a
+        assert bld.emit_andn(a, bld.one) == CONST_ZERO
+
+    def test_double_not_cancels(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(1)[0]
+        assert bld.emit_not(bld.emit_not(a)) == a
+        assert bld.gate_count == 1  # only one NOT materialized
+
+
+class TestStructuralHashing:
+    def test_duplicate_gate_reused(self):
+        bld = CircuitBuilder()
+        a, b = bld.add_alice_inputs(2)
+        first = bld.emit_and(a, b)
+        second = bld.emit_and(a, b)
+        assert first == second
+        assert bld.non_xor_count() == 1
+
+    def test_commutative_canonicalization(self):
+        bld = CircuitBuilder()
+        a, b = bld.add_alice_inputs(2)
+        assert bld.emit_and(a, b) == bld.emit_and(b, a)
+        assert bld.emit_xor(a, b) == bld.emit_xor(b, a)
+
+    def test_hashing_can_be_disabled(self):
+        bld = CircuitBuilder(use_structural_hashing=False)
+        a, b = bld.add_alice_inputs(2)
+        first = bld.emit_and(a, b)
+        second = bld.emit_and(a, b)
+        assert first != second
+        assert bld.non_xor_count() == 2
+
+
+class TestMux:
+    def test_mux_single_and(self):
+        bld = CircuitBuilder()
+        s, t, f = bld.add_alice_inputs(3)
+        bld.mark_output(bld.emit_mux(s, t, f))
+        circuit = bld.build()
+        assert circuit.counts().non_xor == 1
+
+    def test_mux_same_options_folds(self):
+        bld = CircuitBuilder()
+        s, t = bld.add_alice_inputs(2)
+        assert bld.emit_mux(s, t, t) == t
+        assert bld.gate_count == 0
+
+    def test_mux_of_constants_is_free(self):
+        bld = CircuitBuilder()
+        s = bld.add_alice_inputs(1)[0]
+        assert bld.emit_mux(s, bld.one, bld.zero) == s
+        not_s = bld.emit_mux(s, bld.zero, bld.one)
+        assert not_s == bld.emit_not(s)
+        assert bld.non_xor_count() == 0
+
+
+class TestInputOrdering:
+    def test_alice_after_bob_rejected(self):
+        bld = CircuitBuilder()
+        bld.add_bob_inputs(1)
+        with pytest.raises(CircuitError):
+            bld.add_alice_inputs(1)
+
+    def test_bob_after_state_rejected(self):
+        bld = CircuitBuilder()
+        bld.add_state_inputs(1)
+        with pytest.raises(CircuitError):
+            bld.add_bob_inputs(1)
+
+    def test_inputs_after_gates_rejected(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(2)
+        bld.emit_and(a[0], a[1])
+        with pytest.raises(CircuitError):
+            bld.add_alice_inputs(1)
+
+    def test_negative_count_rejected(self):
+        bld = CircuitBuilder()
+        with pytest.raises(CircuitError):
+            bld.add_alice_inputs(-1)
+
+
+class TestBusHelpers:
+    def test_constant_bus(self):
+        bld = CircuitBuilder()
+        bus = bld.constant_bus(0b1011, 5)
+        assert bus == [CONST_ONE, CONST_ONE, CONST_ZERO, CONST_ONE, CONST_ZERO]
+
+    def test_width_mismatch_rejected(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(3)
+        b = bld.add_bob_inputs(2)
+        with pytest.raises(CircuitError):
+            bld.emit_xor_bus(a, b)
+
+    def test_named_buses_recorded(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(2, name="x")
+        bld.mark_output_bus([bld.emit_not(w) for w in a], name="y")
+        circuit = bld.build()
+        assert circuit.input_names["x"] == a
+        assert len(circuit.output_names["y"]) == 2

@@ -1,0 +1,50 @@
+"""CLI smoke tests (each subcommand renders its report)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "TanhCORDIC" in out and "ADD" in out
+
+    def test_table4_paper(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark4" in out and "9.67" in out
+
+    def test_table4_measured(self, capsys):
+        assert main(["table4", "--measured"]) == 0
+        assert "measured" in capsys.readouterr().out
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "120" in out and "improve" in out
+
+    def test_table6(self, capsys):
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "CryptoNets" in out and "570.11" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        assert "crossovers" in capsys.readouterr().out
+
+    def test_throughput(self, capsys):
+        assert main(["throughput", "--gates", "1000"]) == 0
+        assert "gates/s" in capsys.readouterr().out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_parser_lists_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("table3", "table4", "table5", "table6", "fig6",
+                        "throughput", "demo"):
+            assert command in text

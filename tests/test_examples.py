@@ -1,0 +1,85 @@
+"""Smoke tests: every shipped example must run end to end.
+
+The quickstart uses the production 2048-bit OT group and takes ~20 s of
+pure-Python modexp, so it is exercised with the fast test group via its
+importable pieces; the other examples run verbatim.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_private_medical_audio(self, capsys):
+        _load("private_medical_audio").main()
+        out = capsys.readouterr().out
+        assert "pre-processing" in out and "GC label" in out
+
+    def test_streaming_smart_sensing(self, capsys):
+        _load("streaming_smart_sensing").main()
+        out = capsys.readouterr().out
+        assert "crossover" in out.lower() or "DeepSecure" in out
+
+    def test_constrained_wearable_outsourcing(self, capsys):
+        _load("constrained_wearable_outsourcing").main()
+        out = capsys.readouterr().out
+        assert "outsourced" in out and "Prop. 3.2" in out
+
+    def test_netlist_interop(self, capsys):
+        _load("netlist_interop").main()
+        out = capsys.readouterr().out
+        assert "Bristol" in out and "Verilog" in out
+
+    def test_quickstart_pieces(self, capsys):
+        """The quickstart flow with the fast OT group (same code path,
+        test-grade group parameters)."""
+        import random
+
+        import numpy as np
+
+        from repro.circuits import FixedPointFormat
+        from repro.compile import CompileOptions, compile_model
+        from repro.gc import execute
+        from repro.gc.ot import TEST_GROUP_512
+        from repro.nn import (
+            Dense,
+            QuantizedModel,
+            Sequential,
+            Tanh,
+            TrainConfig,
+            Trainer,
+        )
+
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(300, 12))
+        w = rng.normal(size=(12, 4))
+        y = (x @ w).argmax(axis=1)
+        model = Sequential([Dense(8), Tanh(), Dense(4)], input_shape=(12,), seed=1)
+        Trainer(model, TrainConfig(epochs=20, learning_rate=0.2)).fit(x, y)
+        fmt = FixedPointFormat(2, 6)
+        quantized = QuantizedModel(model, fmt, activation_variant="exact")
+        compiled = compile_model(
+            quantized, CompileOptions(activation="exact", output="argmax")
+        )
+        result = execute(
+            compiled.circuit,
+            compiled.client_bits(x[0]),
+            compiled.server_bits(),
+            ot_group=TEST_GROUP_512,
+            rng=random.Random(42),
+        )
+        assert compiled.decode_output(result.outputs) == int(
+            quantized.predict(x[0][None])[0]
+        )

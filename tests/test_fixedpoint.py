@@ -1,0 +1,93 @@
+"""Fixed-point format tests (the paper's 1.3.12 representation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import DEFAULT_FORMAT, FixedPointFormat
+from repro.errors import QuantizationError
+
+
+class TestFormatBasics:
+    def test_paper_default(self):
+        assert DEFAULT_FORMAT.width == 16
+        assert DEFAULT_FORMAT.int_bits == 3
+        assert DEFAULT_FORMAT.frac_bits == 12
+        assert DEFAULT_FORMAT.scale == 4096
+
+    def test_representational_error_bound(self):
+        # paper Sec. 4.2: error <= 2^-(b+1) with b = 12
+        assert DEFAULT_FORMAT.representational_error == 2.0 ** -13
+
+    def test_range_is_symmetric(self):
+        fmt = FixedPointFormat(3, 12)
+        assert fmt.min_value == -fmt.max_value
+
+    def test_describe(self):
+        assert DEFAULT_FORMAT.describe() == "fixed<1.3.12>"
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(-1, 4)
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(40, 40)
+
+
+class TestScalarConversions:
+    @given(st.floats(-7.9, 7.9, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_within_resolution(self, value):
+        fmt = DEFAULT_FORMAT
+        decoded = fmt.decode(fmt.encode(value))
+        assert abs(decoded - value) <= fmt.resolution / 2 + 1e-12
+
+    def test_saturation(self):
+        fmt = DEFAULT_FORMAT
+        assert fmt.decode(fmt.encode(100.0)) == fmt.max_value
+        assert fmt.decode(fmt.encode(-100.0)) == -fmt.max_value
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(QuantizationError):
+            DEFAULT_FORMAT.encode(100.0, saturate=False)
+
+    @given(st.integers(-(2 ** 15) + 1, 2 ** 15 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_unsigned_pattern_roundtrip(self, raw):
+        fmt = DEFAULT_FORMAT
+        assert fmt.from_unsigned(fmt.to_unsigned(raw)) == raw
+
+    @given(st.floats(-7.9, 7.9, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_bits_roundtrip(self, value):
+        fmt = DEFAULT_FORMAT
+        bits = fmt.to_bits(value)
+        assert len(bits) == 16
+        assert abs(fmt.from_bits(bits) - value) <= fmt.resolution / 2 + 1e-12
+
+    def test_from_bits_wrong_width_rejected(self):
+        with pytest.raises(QuantizationError):
+            DEFAULT_FORMAT.from_bits([0] * 8)
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        fmt = DEFAULT_FORMAT
+        values = np.linspace(-9, 9, 101)
+        vector = fmt.encode_array(values)
+        scalars = np.array([fmt.encode(v) for v in values])
+        assert (vector == scalars).all()
+
+    def test_quantize_array_error_bound(self):
+        fmt = DEFAULT_FORMAT
+        values = np.random.default_rng(0).uniform(-7, 7, size=200)
+        assert fmt.quantization_error(values) <= fmt.resolution / 2 + 1e-12
+
+    def test_int_min_never_produced(self):
+        fmt = FixedPointFormat(3, 12)
+        encoded = fmt.encode_array(np.array([-1e9, -8.0, 8.0, 1e9]))
+        assert encoded.min() == -(2 ** 15 - 1)
+        assert encoded.max() == 2 ** 15 - 1
+
+    def test_empty_array(self):
+        assert DEFAULT_FORMAT.quantization_error(np.array([])) == 0.0

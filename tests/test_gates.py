@@ -1,0 +1,97 @@
+"""Unit tests for gate primitives (truth tables, AND reduction)."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.gates import (
+    AND_REDUCTION,
+    FREE_GATES,
+    NONFREE_GATES,
+    Gate,
+    GateType,
+)
+
+
+class TestTruthTables:
+    def test_xor(self):
+        assert [GateType.XOR.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [0, 1, 1, 0]
+
+    def test_xnor(self):
+        assert [GateType.XNOR.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [1, 0, 0, 1]
+
+    def test_and(self):
+        assert [GateType.AND.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [0, 0, 0, 1]
+
+    def test_or(self):
+        assert [GateType.OR.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [0, 1, 1, 1]
+
+    def test_nand(self):
+        assert [GateType.NAND.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [1, 1, 1, 0]
+
+    def test_nor(self):
+        assert [GateType.NOR.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [1, 0, 0, 0]
+
+    def test_andn(self):
+        # a AND (NOT b)
+        assert [GateType.ANDN.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [0, 0, 1, 0]
+
+    def test_orn(self):
+        # a OR (NOT b)
+        assert [GateType.ORN.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [1, 0, 1, 1]
+
+    def test_not_and_buf(self):
+        assert GateType.NOT.eval(0) == 1
+        assert GateType.NOT.eval(1) == 0
+        assert GateType.BUF.eval(0) == 0
+        assert GateType.BUF.eval(1) == 1
+
+
+class TestClassification:
+    def test_free_set(self):
+        assert GateType.XOR.is_free
+        assert GateType.XNOR.is_free
+        assert GateType.NOT.is_free
+        assert GateType.BUF.is_free
+
+    def test_non_free_set(self):
+        for gate in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+                     GateType.ANDN, GateType.ORN):
+            assert not gate.is_free
+
+    def test_partition_is_total(self):
+        assert FREE_GATES | NONFREE_GATES == frozenset(GateType)
+        assert not FREE_GATES & NONFREE_GATES
+
+    def test_arity(self):
+        assert GateType.NOT.arity == 1
+        assert GateType.BUF.arity == 1
+        assert GateType.AND.arity == 2
+        assert GateType.XOR.arity == 2
+
+
+class TestAndReduction:
+    @pytest.mark.parametrize("op", sorted(AND_REDUCTION, key=lambda g: g.value))
+    def test_reduction_matches_truth_table(self, op):
+        inv = AND_REDUCTION[op]
+        for a, b in itertools.product((0, 1), repeat=2):
+            reduced = inv.out ^ ((a ^ inv.ia) & (b ^ inv.ib))
+            assert reduced == op.eval(a, b)
+
+    def test_every_non_free_binary_gate_reducible(self):
+        assert set(AND_REDUCTION) == set(NONFREE_GATES)
+
+
+class TestGate:
+    def test_inputs_binary(self):
+        gate = Gate(GateType.AND, 3, 4, 5)
+        assert gate.inputs() == (3, 4)
+
+    def test_inputs_unary(self):
+        gate = Gate(GateType.NOT, 3, None, 5)
+        assert gate.inputs() == (3,)
+
+    def test_eval_delegates(self):
+        gate = Gate(GateType.NAND, 0, 1, 2)
+        assert gate.eval(1, 1) == 0
+        assert gate.eval(0, 1) == 1

@@ -1,0 +1,186 @@
+"""Layer tests: shapes and numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    MeanPool2D,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+
+def numeric_gradient(layer, x, eps=1e-6):
+    """Numeric dLoss/dx for loss = sum(forward(x))."""
+    grad = np.zeros_like(x)
+    for index in np.ndindex(x.shape):
+        plus = x.copy()
+        plus[index] += eps
+        minus = x.copy()
+        minus[index] -= eps
+        grad[index] = (layer.forward(plus).sum() - layer.forward(minus).sum()) / (
+            2 * eps
+        )
+    return grad
+
+
+def check_input_gradient(layer, x, tol=1e-5):
+    out = layer.forward(x, training=True)
+    analytic = layer.backward(np.ones_like(out))
+    numeric = numeric_gradient(layer, x)
+    assert np.allclose(analytic, numeric, atol=tol), (
+        np.abs(analytic - numeric).max()
+    )
+
+
+class TestDense:
+    def test_forward_shape(self, nprng):
+        layer = Dense(7)
+        layer.build((5,), nprng)
+        assert layer.forward(nprng.normal(size=(3, 5))).shape == (3, 7)
+
+    def test_input_gradient(self, nprng):
+        layer = Dense(4)
+        layer.build((6,), nprng)
+        check_input_gradient(layer, nprng.normal(size=(2, 6)))
+
+    def test_weight_gradient(self, nprng):
+        layer = Dense(3, use_bias=True)
+        layer.build((4,), nprng)
+        x = nprng.normal(size=(2, 4))
+        out = layer.forward(x, training=True)
+        layer.backward(np.ones_like(out))
+        eps = 1e-6
+        for index in [(0, 0), (3, 2), (1, 1)]:
+            layer.weights[index] += eps
+            plus = layer.forward(x).sum()
+            layer.weights[index] -= 2 * eps
+            minus = layer.forward(x).sum()
+            layer.weights[index] += eps
+            assert layer.grad_w[index] == pytest.approx(
+                (plus - minus) / (2 * eps), abs=1e-4
+            )
+
+    def test_mask_silences_connections(self, nprng):
+        layer = Dense(2)
+        layer.build((3,), nprng)
+        layer.mask = np.zeros((3, 2))
+        out = layer.forward(nprng.normal(size=(4, 3)))
+        assert np.allclose(out, 0.0)
+        assert layer.nonzero_macs == 0
+
+    def test_rejects_spatial_input(self, nprng):
+        with pytest.raises(TrainingError):
+            Dense(2).build((3, 3, 1), nprng)
+
+    def test_mac_count(self, nprng):
+        layer = Dense(10)
+        layer.build((20,), nprng)
+        assert layer.mac_count == 200
+
+
+class TestConv2D:
+    def test_forward_shape_stride(self, nprng):
+        layer = Conv2D(5, kernel_size=5, stride=2)
+        out_shape = layer.build((28, 28, 1), nprng)
+        assert out_shape == (12, 12, 5)
+        x = nprng.normal(size=(2, 28, 28, 1))
+        assert layer.forward(x).shape == (2, 12, 12, 5)
+
+    def test_matches_direct_convolution(self, nprng):
+        layer = Conv2D(2, kernel_size=3, stride=1)
+        layer.build((5, 5, 1), nprng)
+        x = nprng.normal(size=(1, 5, 5, 1))
+        out = layer.forward(x)
+        for i in range(3):
+            for j in range(3):
+                for c in range(2):
+                    patch = x[0, i : i + 3, j : j + 3, 0]
+                    expected = (patch * layer.weights[:, :, 0, c]).sum()
+                    assert out[0, i, j, c] == pytest.approx(expected)
+
+    def test_input_gradient(self, nprng):
+        layer = Conv2D(2, kernel_size=2, stride=1)
+        layer.build((4, 4, 1), nprng)
+        check_input_gradient(layer, nprng.normal(size=(1, 4, 4, 1)))
+
+    def test_kernel_too_large_rejected(self, nprng):
+        with pytest.raises(TrainingError):
+            Conv2D(1, kernel_size=9).build((5, 5, 1), nprng)
+
+    def test_mac_count_benchmark1(self, nprng):
+        layer = Conv2D(5, kernel_size=5, stride=2)
+        layer.build((28, 28, 1), nprng)
+        # 12x12 output positions (not the paper's 13x13 — see DESIGN.md)
+        assert layer.mac_count == 25 * 12 * 12 * 5
+
+
+class TestPooling:
+    def test_maxpool_values(self, nprng):
+        layer = MaxPool2D(2)
+        layer.build((4, 4, 1), nprng)
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = layer.forward(x)
+        assert out.reshape(-1).tolist() == [5, 7, 13, 15]
+
+    def test_maxpool_gradient_routes_to_max(self, nprng):
+        layer = MaxPool2D(2)
+        layer.build((2, 2, 1), nprng)
+        x = np.array([[1.0, 5.0], [2.0, 3.0]]).reshape(1, 2, 2, 1)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.ones((1, 1, 1, 1)))
+        assert grad.reshape(-1).tolist() == [0, 1, 0, 0]
+
+    def test_meanpool_values(self, nprng):
+        layer = MeanPool2D(2)
+        layer.build((2, 2, 1), nprng)
+        x = np.array([[1.0, 3.0], [5.0, 7.0]]).reshape(1, 2, 2, 1)
+        assert layer.forward(x).item() == 4.0
+
+    def test_meanpool_gradient(self, nprng):
+        layer = MeanPool2D(2)
+        layer.build((2, 2, 1), nprng)
+        layer.forward(nprng.normal(size=(1, 2, 2, 1)), training=True)
+        grad = layer.backward(np.ones((1, 1, 1, 1)))
+        assert np.allclose(grad, 0.25)
+
+    def test_overlapping_maxpool(self, nprng):
+        layer = MaxPool2D(2, stride=1)
+        assert layer.build((4, 4, 1), nprng) == (3, 3, 1)
+
+    def test_comparison_count(self, nprng):
+        layer = MaxPool2D(2)
+        layer.build((4, 4, 3), nprng)
+        assert layer.comparisons_per_sample(3) == 3 * 2 * 2 * 3
+
+
+class TestActivationsAndFlatten:
+    @pytest.mark.parametrize("cls", [ReLU, Sigmoid, Tanh])
+    def test_gradient(self, cls, nprng):
+        layer = cls()
+        layer.build((6,), nprng)
+        check_input_gradient(layer, nprng.normal(size=(3, 6)))
+
+    def test_relu_clips(self, nprng):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 2.0, -0.5]]))
+        assert out.tolist() == [[0.0, 2.0, 0.0]]
+
+    def test_sigmoid_range(self, nprng):
+        out = Sigmoid().forward(nprng.normal(size=(10, 4)) * 100)
+        assert (out >= 0).all() and (out <= 1).all()
+
+    def test_flatten_roundtrip(self, nprng):
+        layer = Flatten()
+        layer.build((3, 3, 2), nprng)
+        x = nprng.normal(size=(4, 3, 3, 2))
+        flat = layer.forward(x, training=True)
+        assert flat.shape == (4, 18)
+        assert layer.backward(flat).shape == x.shape

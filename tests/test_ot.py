@@ -1,0 +1,117 @@
+"""Oblivious-transfer tests: base OT and IKNP extension."""
+
+import random
+
+import pytest
+
+from repro.errors import OTError
+from repro.gc.ot import (
+    MODP_2048,
+    TEST_GROUP_512,
+    OTReceiver,
+    OTSender,
+    run_ot_batch,
+)
+from repro.gc.ot_extension import extension_ot
+
+
+def _pairs(n, rng, length=16):
+    return [
+        (
+            bytes(rng.randrange(256) for _ in range(length)),
+            bytes(rng.randrange(256) for _ in range(length)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestBaseOT:
+    def test_receiver_gets_chosen_messages(self):
+        rng = random.Random(1)
+        pairs = _pairs(24, rng)
+        choices = [rng.randrange(2) for _ in range(24)]
+        out = run_ot_batch(pairs, choices, group=TEST_GROUP_512, rng=rng)
+        for msg, choice, pair in zip(out, choices, pairs):
+            assert msg == pair[choice]
+
+    def test_receiver_never_gets_other_message(self):
+        rng = random.Random(2)
+        pairs = _pairs(16, rng)
+        choices = [rng.randrange(2) for _ in range(16)]
+        out = run_ot_batch(pairs, choices, group=TEST_GROUP_512, rng=rng)
+        for msg, choice, pair in zip(out, choices, pairs):
+            assert msg != pair[1 - choice]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(OTError):
+            OTSender([(b"aa", b"bbb")], group=TEST_GROUP_512)
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(OTError):
+            run_ot_batch([(b"a", b"b")], [0, 1], group=TEST_GROUP_512)
+
+    def test_bad_public_key_rejected(self):
+        rng = random.Random(3)
+        sender = OTSender(_pairs(1, rng), group=TEST_GROUP_512, rng=rng)
+        sender.setup()
+        with pytest.raises(OTError):
+            sender.respond([0])
+
+    def test_response_count_checked(self):
+        rng = random.Random(4)
+        receiver = OTReceiver([0, 1], group=TEST_GROUP_512, rng=rng)
+        receiver.public_keys(5)
+        with pytest.raises(OTError):
+            receiver.recover([])
+
+    def test_modp2048_group_sane(self):
+        # generator 2 has large order in the RFC group
+        assert MODP_2048.prime.bit_length() == 2048
+        assert MODP_2048.power(2, 10) == 1024
+
+    def test_group_inverse(self):
+        g = TEST_GROUP_512
+        for x in (2, 12345, g.prime - 7):
+            assert g.mul(x, g.inverse(x)) == 1
+
+
+class TestOTExtension:
+    def test_correctness_200_transfers(self):
+        rng = random.Random(11)
+        pairs = _pairs(200, rng)
+        choices = [rng.randrange(2) for _ in range(200)]
+        out, _ = extension_ot(pairs, choices, group=TEST_GROUP_512, rng=rng)
+        for msg, choice, pair in zip(out, choices, pairs):
+            assert msg == pair[choice]
+
+    def test_non_multiple_of_eight(self):
+        rng = random.Random(12)
+        pairs = _pairs(131, rng)
+        choices = [rng.randrange(2) for _ in range(131)]
+        out, _ = extension_ot(pairs, choices, group=TEST_GROUP_512, rng=rng)
+        assert all(m == p[c] for m, c, p in zip(out, choices, pairs))
+
+    def test_empty_batch(self):
+        out, transferred = extension_ot([], [], group=TEST_GROUP_512)
+        assert out == [] and transferred == 0
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(OTError):
+            extension_ot([(b"a", b"b")], [0, 1], group=TEST_GROUP_512)
+
+    def test_traffic_scales_linearly(self):
+        rng = random.Random(13)
+        _, small = extension_ot(
+            _pairs(100, rng), [0] * 100, group=TEST_GROUP_512, rng=rng
+        )
+        _, large = extension_ot(
+            _pairs(400, rng), [0] * 400, group=TEST_GROUP_512, rng=rng
+        )
+        assert 3.0 <= large / small <= 5.0
+
+    def test_variable_message_length(self):
+        rng = random.Random(14)
+        pairs = _pairs(140, rng, length=32)
+        choices = [rng.randrange(2) for _ in range(140)]
+        out, _ = extension_ot(pairs, choices, group=TEST_GROUP_512, rng=rng)
+        assert all(m == p[c] for m, c, p in zip(out, choices, pairs))

@@ -1,0 +1,140 @@
+"""Quantization tests: circuit-exact integer semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import FixedPointFormat
+from repro.errors import QuantizationError
+from repro.nn import (
+    Dense,
+    QuantizedModel,
+    Sequential,
+    Tanh,
+    activation_table,
+    fixed_mul,
+    saturate,
+)
+
+
+class TestFixedMul:
+    @given(st.integers(-32767, 32767), st.integers(-32767, 32767))
+    @settings(max_examples=60, deadline=None)
+    def test_round_toward_zero(self, a, b):
+        got = int(fixed_mul(a, b, 12))
+        mag = (abs(a) * abs(b)) >> 12
+        assert got == (-mag if (a < 0) != (b < 0) else mag)
+
+    def test_vectorized(self):
+        a = np.array([4096, -4096, 8192])
+        b = np.array([4096, 4096, -2048])
+        assert fixed_mul(a, b, 12).tolist() == [4096, -4096, -4096]
+
+    @given(st.integers(-32767, 32767))
+    @settings(max_examples=30, deadline=None)
+    def test_identity(self, a):
+        assert int(fixed_mul(a, 4096, 12)) == a  # x * 1.0 == x
+
+
+class TestSaturate:
+    def test_clamps_symmetric(self):
+        fmt = FixedPointFormat(3, 12)
+        values = np.array([-10 ** 6, -32768, 0, 32768, 10 ** 6])
+        out = saturate(values, fmt)
+        assert out.tolist() == [-32767, -32767, 0, 32767, 32767]
+
+
+class TestActivationTables:
+    def test_exact_table_matches_function(self):
+        fmt = FixedPointFormat(2, 6)
+        table = activation_table("tanh", fmt, "exact")
+        for pattern in range(0, 512, 37):
+            signed = fmt.from_unsigned(pattern)
+            expected = fmt.encode(np.tanh(fmt.decode(signed)))
+            assert table[pattern] == expected
+
+    def test_cordic_table_matches_reference(self):
+        from repro.circuits.activations import hyperbolic_plan, tanh_reference
+
+        fmt = FixedPointFormat(2, 6)
+        table = activation_table("tanh", fmt, "cordic")
+        plan = hyperbolic_plan(frac_bits=fmt.frac_bits, expansion=3)
+        for pattern in range(0, 512, 41):
+            signed = fmt.from_unsigned(pattern)
+            expected = fmt.encode(tanh_reference(fmt.decode(signed), fmt, plan))
+            assert table[pattern] == expected
+
+    def test_tables_cached(self):
+        fmt = FixedPointFormat(2, 6)
+        assert activation_table("sigmoid", fmt, "exact") is activation_table(
+            "sigmoid", fmt, "exact"
+        )
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(QuantizationError):
+            activation_table("tanh", FixedPointFormat(2, 6), "bogus")
+
+
+class TestQuantizedModel:
+    def test_agreement_with_float(self, tiny_model):
+        model, x, y = tiny_model
+        quantized = QuantizedModel(model)
+        agreement = (quantized.predict(x) == model.predict(x)).mean()
+        assert agreement > 0.95
+
+    def test_integer_pipeline_deterministic(self, tiny_model):
+        model, x, _ = tiny_model
+        quantized = QuantizedModel(model)
+        fixed = quantized.fmt.encode_array(x[:8])
+        assert (
+            quantized.forward_fixed(fixed) == quantized.forward_fixed(fixed)
+        ).all()
+
+    def test_logits_bounded_by_format(self, tiny_model):
+        model, x, _ = tiny_model
+        quantized = QuantizedModel(model)
+        logits = quantized.forward_fixed(quantized.fmt.encode_array(x[:16]))
+        high = (1 << (quantized.fmt.width - 1)) - 1
+        assert (np.abs(logits) <= high).all()
+
+    def test_mask_respected(self, tiny_model):
+        model, x, _ = tiny_model
+        pruned = model.clone()
+        pruned.layers[0].mask = np.zeros_like(pruned.layers[0].weights)
+        quantized = QuantizedModel(pruned)
+        first_dense = quantized.steps[0][1]
+        assert (first_dense.weights == 0).all()
+
+    def test_exact_vs_cordic_variants_close(self, tiny_model):
+        model, x, _ = tiny_model
+        exact = QuantizedModel(model, activation_variant="exact")
+        cordic = QuantizedModel(model, activation_variant="cordic")
+        agree = (exact.predict(x[:60]) == cordic.predict(x[:60])).mean()
+        assert agree > 0.9
+
+    def test_unsupported_layer_rejected(self):
+        class Weird:
+            kind = "weird"
+            def build(self, shape, rng):
+                return shape
+
+        model = Sequential([Dense(3)], input_shape=(2,))
+        model.layers.append(Weird())
+        with pytest.raises(QuantizationError):
+            QuantizedModel(model)
+
+    def test_meanpool_semantics(self):
+        """Quantized mean pooling = saturated sum then fixed-mul by 1/area."""
+        from repro.nn import Flatten, MeanPool2D
+
+        fmt = FixedPointFormat(3, 12)
+        model = Sequential(
+            [MeanPool2D(2), Flatten(), Dense(2)], input_shape=(2, 2, 1), seed=0
+        )
+        quantized = QuantizedModel(model, fmt)
+        x = fmt.encode_array(np.full((1, 2, 2, 1), 0.5))
+        pooled = quantized._pool(x, model.layers[0], maximum=False)
+        total = saturate(np.array([4 * fmt.encode(0.5)]), fmt)
+        expected = fixed_mul(total, fmt.encode(0.25), fmt.frac_bits)
+        assert pooled.reshape(-1)[0] == expected[0]

@@ -1,0 +1,83 @@
+"""Tests for the plaintext simulator and bit conversions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    CircuitBuilder,
+    bits_from_int,
+    int_from_bits,
+    simulate,
+    simulate_words,
+)
+from repro.circuits.arith import ripple_add
+from repro.errors import CircuitError
+
+
+class TestBitConversions:
+    @given(st.integers(0, 2 ** 16 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_unsigned(self, value):
+        assert int_from_bits(bits_from_int(value, 16)) == value
+
+    @given(st.integers(-(2 ** 15), 2 ** 15 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_signed(self, value):
+        assert int_from_bits(bits_from_int(value, 16), signed=True) == value
+
+    def test_lsb_first(self):
+        assert bits_from_int(0b110, 4) == [0, 1, 1, 0]
+
+    def test_empty(self):
+        assert int_from_bits([]) == 0
+
+
+class TestSimulate:
+    def test_constants_available(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(1)
+        bld.mark_output(bld.zero)
+        bld.mark_output(bld.one)
+        bld.mark_output(a[0])
+        assert simulate(bld.build(), [1], []) == [0, 1, 1]
+
+    def test_state_bits(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(1)
+        s = bld.add_state_inputs(1)
+        bld.mark_output(bld.emit_xor(a[0], s[0]))
+        circuit = bld.build()
+        assert simulate(circuit, [1], [], [1]) == [0]
+        assert simulate(circuit, [1], [], [0]) == [1]
+
+    def test_output_can_be_input_wire(self):
+        bld = CircuitBuilder()
+        a = bld.add_alice_inputs(2)
+        bld.mark_output(a[1])
+        bld.mark_output(bld.emit_and(a[0], a[1]))
+        assert simulate(bld.build(), [1, 1], []) == [1, 1]
+
+
+class TestSimulateWords:
+    def _adder(self):
+        bld = CircuitBuilder()
+        x = bld.add_alice_inputs(8, name="x")
+        y = bld.add_bob_inputs(8, name="y")
+        bld.mark_output_bus(ripple_add(bld, x, y), name="sum")
+        return bld.build()
+
+    def test_named_io(self):
+        circuit = self._adder()
+        out = simulate_words(circuit, {"x": 33}, {"y": 44}, {"sum": 8})
+        assert out["sum"] == 77
+
+    def test_unknown_input_rejected(self):
+        circuit = self._adder()
+        with pytest.raises(CircuitError):
+            simulate_words(circuit, {"bogus": 1}, {"y": 0}, {"sum": 8})
+
+    def test_unknown_output_rejected(self):
+        circuit = self._adder()
+        with pytest.raises(CircuitError):
+            simulate_words(circuit, {"x": 1}, {"y": 0}, {"bogus": 8})

@@ -77,6 +77,20 @@ def main() -> None:
           "the table transfer moved between the two servers; the client "
           "sends only its two shares.")
 
+    # --- the same flow as a named engine backend: a deployment selects
+    #     the outsourcing protocol by configuration, not by rewiring
+    from repro.engine import EngineConfig
+    from repro.service import PrivateInferenceService
+
+    service = PrivateInferenceService(model, EngineConfig(
+        fmt=fmt, activation="exact", backend="outsourced",
+        ot_group=TEST_GROUP_512, rng=random.Random(8),
+    ))
+    record = service.infer(sample)
+    print(f"engine backend 'outsourced': label {record.label} | "
+          f"same flow, one-line config")
+    assert record.label == direct_label
+
 
 if __name__ == "__main__":
     main()

@@ -1,11 +1,18 @@
-"""Quickstart: private inference in five steps.
+"""Quickstart: private inference through the unified engine API.
 
-Trains a small classifier, quantizes it to the paper's fixed-point
-format, compiles it to a Boolean netlist and runs one *actual* garbled-
-circuit execution: the client (Alice) garbles and contributes her
-private sample, the server (Bob) contributes his private weights through
-oblivious transfer, evaluates, and returns the encrypted result for the
-merge step.  Nobody ever sees the other party's input.
+Trains a small classifier, wraps it in a :class:`PrivateInferenceService`
+configured by a single :class:`EngineConfig`, and serves private
+inferences three ways:
+
+1. one cold request through the direct two-party protocol (Fig. 3);
+2. the offline/online split — garbling is input-independent (Sec. 3),
+   so the service pre-garbles circuits while idle and the online path
+   shrinks to transfer + OT + evaluate + merge;
+3. the same sample through another registered backend (the XOR-share
+   outsourcing flow of Sec. 3.3) — backends are named entries in
+   ``repro.engine``'s registry, all behind one ``run()`` contract.
+
+Nobody ever sees the other party's input in any of these flows.
 
 Run:  python examples/quickstart.py
 """
@@ -16,9 +23,10 @@ import time
 import numpy as np
 
 from repro.circuits import FixedPointFormat
-from repro.compile import CompileOptions, compile_model
-from repro.gc import execute
-from repro.nn import Dense, QuantizedModel, Sequential, Tanh, TrainConfig, Trainer
+from repro.engine import EngineConfig, available_backends
+from repro.gc.ot import MODP_2048
+from repro.nn import Dense, Sequential, Tanh, TrainConfig, Trainer
+from repro.service import PrivateInferenceService
 
 
 def main() -> None:
@@ -32,40 +40,49 @@ def main() -> None:
     print(f"trained {model.architecture_string()}: "
           f"train accuracy {(model.predict(x) == y).mean():.3f}")
 
-    # 2. quantize to fixed point (1 sign + 2 integer + 6 fraction bits
-    #    keeps this demo's circuit small; the paper uses 1.3.12)
-    fmt = FixedPointFormat(int_bits=2, frac_bits=6)
-    quantized = QuantizedModel(model, fmt, activation_variant="exact")
-
-    # 3. compile to a netlist: Alice's wires = features, Bob's = weights
-    compiled = compile_model(
-        quantized, CompileOptions(activation="exact", output="argmax")
-    )
-    counts = compiled.circuit.counts()
-    print(f"compiled circuit: {counts.xor} XOR (free) + "
-          f"{counts.non_xor} non-XOR (garbled) gates")
-
-    # 4. run the garbled-circuit protocol on one private sample
-    #    (wall time is dominated by the 128 base OTs in the RFC-3526
-    #    2048-bit group — honest parameters, pure-Python modexp)
-    sample = x[0]
-    start = time.time()
-    result = execute(
-        compiled.circuit,
-        compiled.client_bits(sample),     # Alice's private input bits
-        compiled.server_bits(),           # Bob's private weight bits (via OT)
+    # 2. one config drives quantization, compilation and execution
+    #    (1 sign + 2 integer + 6 fraction bits keeps this demo's circuit
+    #    small; the paper uses 1.3.12.  The 2048-bit OT group is the
+    #    honest production parameter — pure-Python modexp dominates the
+    #    wall time.)
+    config = EngineConfig(
+        fmt=FixedPointFormat(int_bits=2, frac_bits=6),
+        activation="exact",
+        backend="two_party",
+        ot_group=MODP_2048,
         rng=random.Random(42),
     )
-    label = compiled.decode_output(result.outputs)
-    print(f"private inference ran in {time.time() - start:.1f}s wall; "
-          f"communication {result.total_comm_bytes / 1e6:.2f} MB "
-          f"({result.comm['tables'] / 1e6:.2f} MB garbled tables)")
+    service = PrivateInferenceService(model, config)
+    print(f"compiled: {service.circuit_summary}")
+    print(f"registered backends: {', '.join(available_backends())}")
 
-    # 5. check against the cleartext reference
-    expected = int(quantized.predict(sample[None])[0])
-    print(f"GC label = {label}, cleartext label = {expected} "
-          f"-> {'MATCH' if label == expected else 'MISMATCH'}")
-    assert label == expected
+    # 3. cold request: garbling happens on the online critical path
+    sample = x[0]
+    start = time.time()
+    cold = service.infer(sample)
+    print(f"cold inference:   label {cold.label} | "
+          f"{time.time() - start:.1f}s wall | "
+          f"garble {cold.times['garble']:.2f}s on the critical path | "
+          f"comm {cold.comm_bytes / 1e6:.2f} MB")
+
+    # 4. offline/online split: prepare() garbles ahead of the request
+    service.prepare(2)
+    warm = service.infer(sample)
+    print(f"pooled inference: label {warm.label} | "
+          f"garble {warm.times['garble'] * 1e3:.2f}ms online "
+          f"(pre-garbled: {warm.pregarbled}) | "
+          f"online wall {warm.wall_seconds:.1f}s")
+
+    # 5. any registered backend serves the same request — here the
+    #    constrained-client outsourcing flow (Sec. 3.3)
+    outsourced = service.infer(sample, backend="outsourced")
+    print(f"outsourced:       label {outsourced.label} "
+          f"(backend {outsourced.backend})")
+
+    # 6. check against the cleartext reference
+    expected = service.cleartext_label(sample)
+    assert cold.label == warm.label == outsourced.label == expected
+    print(f"all labels match the cleartext reference ({expected}) -> MATCH")
 
 
 if __name__ == "__main__":

@@ -8,17 +8,33 @@ outsourcing for constrained clients.
 
 Quick tour (see ``examples/quickstart.py`` for the runnable version)::
 
-    from repro.nn import Sequential, Dense, Tanh, Trainer, QuantizedModel
-    from repro.compile import compile_model, CompileOptions
-    from repro.gc import execute
+    from repro.nn import Sequential, Dense, Tanh, Trainer
+    from repro.engine import EngineConfig
+    from repro.service import PrivateInferenceService
 
     model = Sequential([Dense(8), Tanh(), Dense(4)], input_shape=(12,))
     Trainer(model).fit(x_train, y_train)
-    compiled = compile_model(QuantizedModel(model))
-    result = execute(compiled.circuit,
-                     compiled.client_bits(sample),      # Alice: private data
-                     compiled.server_bits())            # Bob: private weights
-    label = compiled.decode_output(result.outputs)
+
+    service = PrivateInferenceService(model, EngineConfig(
+        backend="two_party",   # or outsourced / folded / cut_and_choose
+        pool_size=8,           # pre-garble 8 circuits (offline phase)
+    ))
+    service.prepare()                       # input-independent garbling
+    result = service.infer(sample)          # online: OT + evaluate only
+    results = service.infer_many(samples)   # concurrent serving
+
+Every execution flow is a named backend behind one contract::
+
+    from repro.engine import get_backend
+
+    backend = get_backend("outsourced")
+    result = backend.run(circuit, client_bits, server_bits)
+
+**Offline/online split** — garbling depends only on the public netlist,
+never on either party's inputs (paper Sec. 3).  ``EngineConfig.pool_size``
+therefore buys online latency with idle-time work: ``prepare()`` garbles
+circuit copies ahead of requests, and each pooled ``infer()`` skips the
+garbling phase entirely.
 
 Subpackages:
 
@@ -27,6 +43,8 @@ Subpackages:
 * :mod:`repro.synthesis` — the GC cost library and optimization passes;
 * :mod:`repro.gc` — half-gates garbling, OT (+extension), the two-party
   protocol, sequential garbling and XOR-share outsourcing;
+* :mod:`repro.engine` — the unified execution API: backend registry,
+  `EngineConfig`, pre-garbled pools;
 * :mod:`repro.nn` — numpy DL substrate with circuit-exact quantization;
 * :mod:`repro.data` — synthetic MNIST/ISOLET/DSA stand-ins;
 * :mod:`repro.preprocess` — Algorithm 1/2 projection and pruning;
@@ -34,7 +52,7 @@ Subpackages:
   model;
 * :mod:`repro.baselines` — CryptoNets over simulated leveled HE;
 * :mod:`repro.analysis` — throughput, Fig. 5 pipeline, Fig. 6 curves;
-* :mod:`repro.zoo` — the paper's four benchmarks.
+* :mod:`repro.zoo` — the paper's four benchmarks (+ ``build_service``).
 """
 
 from . import (
@@ -43,16 +61,24 @@ from . import (
     circuits,
     compile,
     data,
+    engine,
     gc,
     nn,
     preprocess,
     synthesis,
     zoo,
 )
-from .service import InferenceRecord, PrivateInferenceService
+from .engine import EngineConfig
+from .service import (
+    InferenceRecord,
+    InferenceRequest,
+    InferenceResult,
+    PrivateInferenceService,
+)
 from .errors import (
     CircuitError,
     CompileError,
+    EngineError,
     GarblingError,
     OTError,
     PreprocessError,
@@ -63,12 +89,13 @@ from .errors import (
     TrainingError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "circuits",
     "synthesis",
     "gc",
+    "engine",
     "nn",
     "data",
     "preprocess",
@@ -77,7 +104,10 @@ __all__ = [
     "analysis",
     "zoo",
     "PrivateInferenceService",
+    "InferenceRequest",
+    "InferenceResult",
     "InferenceRecord",
+    "EngineConfig",
     "ReproError",
     "CircuitError",
     "SynthesisError",
@@ -88,5 +118,6 @@ __all__ = [
     "CompileError",
     "TrainingError",
     "PreprocessError",
+    "EngineError",
     "__version__",
 ]

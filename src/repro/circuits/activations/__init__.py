@@ -54,8 +54,20 @@ VARIANTS: Dict[str, Callable] = {
     "SigmoidCORDICviaTanh": sigmoid_cordic_via_tanh,
 }
 
+#: Compiler variant choice -> Table 3 realization per non-linearity.
+#: The single source of truth shared by the model-to-netlist compiler
+#: and the quantized reference tables, so the "bit-exact end to end"
+#: guarantee cannot silently drift.
+VARIANT_CIRCUITS: Dict[str, Dict[str, str]] = {
+    "exact": {"tanh": "TanhLUT", "sigmoid": "SigmoidLUT"},
+    "cordic": {"tanh": "TanhCORDIC", "sigmoid": "SigmoidCORDIC"},
+    "truncated": {"tanh": "Tanh2.10.12", "sigmoid": "Sigmoid3.10.12"},
+    "piecewise": {"tanh": "TanhPL", "sigmoid": "SigmoidPLAN"},
+}
+
 __all__ = [
     "VARIANTS",
+    "VARIANT_CIRCUITS",
     "CordicPlan",
     "hyperbolic_plan",
     "rotate_reference",

@@ -9,9 +9,12 @@ Usage::
     python -m repro.cli fig6              # delay-vs-batch-size curves
     python -m repro.cli throughput        # this host's garbling speed
     python -m repro.cli demo              # one live private inference
+    python -m repro.cli infer -b folded   # one inference, any backend
+    python -m repro.cli serve -n 6        # concurrent pre-garbled serving
 
-Each subcommand prints the same report the corresponding benchmark
-module writes to ``benchmarks/results/``.
+Each reporting subcommand prints the same table the corresponding
+benchmark module writes to ``benchmarks/results/``; ``infer`` and
+``serve`` exercise the :mod:`repro.engine` execution API live.
 """
 
 from __future__ import annotations
@@ -116,35 +119,107 @@ def _cmd_throughput(args) -> None:
           f"(paper 5110k) | slowdown {report.slowdown_vs_paper:.0f}x")
 
 
-def _cmd_demo(args) -> None:
+#: Samples in the live subcommands' demo dataset.
+_DEMO_SAMPLES = 400
+
+
+def _demo_service(backend: str = "two_party", activation: str = "exact",
+                  pool_size: int = 0, history_limit: int = 0, seed: int = 1):
+    """A small trained service for the live subcommands (fast OT group)."""
     import random
 
     import numpy as np
 
     from .circuits import FixedPointFormat
-    from .compile import CompileOptions
+    from .engine import EngineConfig
     from .gc.ot import TEST_GROUP_512
     from .nn import Dense, Sequential, Tanh, TrainConfig, Trainer
     from .service import PrivateInferenceService
 
     rng = np.random.default_rng(0)
-    x = rng.uniform(-1, 1, size=(400, 10))
+    x = rng.uniform(-1, 1, size=(_DEMO_SAMPLES, 10))
     w = rng.normal(size=(10, 3))
     y = (x @ w).argmax(axis=1)
     model = Sequential([Dense(6), Tanh(), Dense(3)], input_shape=(10,), seed=1)
     Trainer(model, TrainConfig(epochs=20, learning_rate=0.2)).fit(x, y)
-    service = PrivateInferenceService(
-        model,
+    config = EngineConfig(
         fmt=FixedPointFormat(2, 6),
-        options=CompileOptions(activation="exact", output="argmax"),
+        activation=activation,
+        backend=backend,
         ot_group=TEST_GROUP_512,
-        rng=random.Random(1),
+        rng=random.Random(seed),
+        pool_size=pool_size,
+        history_limit=history_limit,
     )
+    return PrivateInferenceService(model, config), x
+
+
+def _cmd_demo(args) -> None:
+    service, x = _demo_service()
     print(service.circuit_summary)
     record = service.infer(x[0])
     print(f"private label: {record.label} | cleartext: "
           f"{service.cleartext_label(x[0])} | comm "
           f"{record.comm_bytes / 1e6:.2f} MB | {record.wall_seconds:.2f} s")
+
+
+def _cmd_infer(args) -> None:
+    if not 0 <= args.samples <= _DEMO_SAMPLES:
+        raise SystemExit(f"infer: --samples must be in 0..{_DEMO_SAMPLES}")
+    service, x = _demo_service(backend=args.backend, activation=args.activation)
+    print(service.circuit_summary)
+    for index in range(args.samples):
+        record = service.infer(x[index])
+        phases = ", ".join(
+            f"{k}={v * 1e3:.0f}ms" for k, v in record.times.items()
+        )
+        print(f"[{args.backend}] sample {index}: label {record.label} "
+              f"(cleartext {service.cleartext_label(x[index])}) | "
+              f"comm {record.comm_bytes / 1e6:.2f} MB | {phases}")
+
+
+def _cmd_serve(args) -> None:
+    import time
+
+    if args.requests < 1:
+        raise SystemExit("serve: --requests must be >= 1")
+    if args.workers < 1:
+        raise SystemExit("serve: --workers must be >= 1")
+    if args.pool is not None and args.pool < 0:
+        raise SystemExit("serve: --pool must be >= 0")
+    if args.requests > _DEMO_SAMPLES:
+        raise SystemExit(f"serve: --requests must be <= {_DEMO_SAMPLES} "
+                         "(demo dataset size)")
+    pool_size = args.pool if args.pool is not None else args.requests
+    service, x = _demo_service(
+        pool_size=pool_size, history_limit=args.requests
+    )
+    pool = service.pool
+    print(service.circuit_summary)
+    if pool_size > 0:
+        warmed = service.prepare()
+        print(f"offline phase: {warmed} circuits pre-garbled")
+    else:
+        print("offline phase: disabled (--pool 0, cold baseline)")
+
+    start = time.perf_counter()
+    results = service.infer_many(
+        list(x[: args.requests]), max_workers=args.workers
+    )
+    wall = time.perf_counter() - start
+
+    online = [r.wall_seconds for r in results]
+    pooled = sum(1 for r in results if r.pregarbled)
+    labels = [r.label for r in results]
+    expected = [service.cleartext_label(s) for s in x[: args.requests]]
+    print(f"served {len(results)} requests on {args.workers} workers "
+          f"in {wall:.2f} s ({len(results) / wall:.2f} req/s)")
+    hit_rate = f"{pool.hit_rate:.0%}" if pool is not None else "n/a"
+    print(f"online latency: mean {sum(online) / len(online):.2f} s | "
+          f"max {max(online):.2f} s | pre-garbled {pooled}/{len(results)} "
+          f"(pool hit rate {hit_rate})")
+    print(f"labels: {labels} | cleartext agreement: "
+          f"{'OK' if labels == expected else 'MISMATCH'}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -179,6 +254,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("demo", help="one live private inference").set_defaults(
         func=_cmd_demo
     )
+
+    from .engine import available_backends
+    from .nn.quantize import ACTIVATION_VARIANTS
+
+    infer = sub.add_parser(
+        "infer", help="live private inference through any engine backend"
+    )
+    infer.add_argument("-b", "--backend", default="two_party",
+                       choices=available_backends(),
+                       help="execution flow (repro.engine registry)")
+    infer.add_argument("--activation", default="exact",
+                       choices=ACTIVATION_VARIANTS,
+                       help="Table 3 activation realization")
+    infer.add_argument("-n", "--samples", type=int, default=1,
+                       help="number of samples to serve")
+    infer.set_defaults(func=_cmd_infer)
+
+    serve = sub.add_parser(
+        "serve", help="concurrent serving with a pre-garbled pool"
+    )
+    serve.add_argument("-n", "--requests", type=int, default=4,
+                       help="requests to serve")
+    serve.add_argument("-w", "--workers", type=int, default=2,
+                       help="thread-pool width")
+    serve.add_argument("--pool", type=int, default=None,
+                       help="pre-garbled pool size (default: = requests; "
+                            "0 disables pooling for a cold baseline)")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

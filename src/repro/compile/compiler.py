@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits.activations import VARIANTS, hyperbolic_plan
+from ..circuits.activations import VARIANT_CIRCUITS, VARIANTS, hyperbolic_plan
 from ..circuits.arith import (
     multiply_fixed_full,
     relu as relu_circuit,
@@ -408,17 +408,10 @@ class _Compiler:
         if kind == "relu":
             return relu_circuit(self.builder, bus)
         choice = self.options.activation
-        if choice == "cordic":
-            name = "TanhCORDIC" if kind == "tanh" else "SigmoidCORDIC"
-        elif choice == "exact":
-            name = "TanhLUT" if kind == "tanh" else "SigmoidLUT"
-        elif choice == "truncated":
-            name = "Tanh2.10.12" if kind == "tanh" else "Sigmoid3.10.12"
-        elif choice == "piecewise":
-            name = "TanhPL" if kind == "tanh" else "SigmoidPLAN"
-        else:
+        realizations = VARIANT_CIRCUITS.get(choice)
+        if realizations is None:
             raise CompileError(f"unknown activation choice {choice!r}")
-        return VARIANTS[name](self.builder, bus, fmt)
+        return VARIANTS[realizations[kind]](self.builder, bus, fmt)
 
 
 def compile_model(

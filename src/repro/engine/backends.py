@@ -1,0 +1,384 @@
+"""Execution backends behind one ``run(circuit, client_bits, server_bits)``.
+
+Every way this reproduction can execute a compiled inference circuit —
+direct two-party GC (Fig. 3), XOR-share outsourcing (Fig. 4 / Sec. 3.3),
+single-cycle sequential garbling (the Sec. 3.5 folded machinery),
+cut-and-choose covert security (Sec. 2.4), and the plaintext reference
+simulator — is normalized behind the :class:`Backend` contract and a
+string-keyed registry, so services, CLIs and benchmarks select a flow by
+name instead of hand-wiring sessions.
+
+Registering a new backend is one decorator::
+
+    @register_backend("my_flow")
+    class MyBackend(Backend):
+        def run(self, circuit, client_bits, server_bits): ...
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+import time
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..circuits.netlist import Circuit
+from ..circuits.sequential import SequentialCircuit
+from ..circuits.simulate import simulate
+from ..errors import EngineError
+from ..gc.cipher import HashKDF
+from ..gc.cutandchoose import CutAndChooseGarbler, verify_opened_copy
+from ..gc.evaluate import Evaluator
+from ..gc.ot import MODP_2048, OTGroup
+from ..gc.outsourcing import OutsourcedSession
+from ..gc.protocol import TwoPartySession, transfer_input_labels
+from ..gc.sequential import SequentialSession
+from .pool import PregarbledPool
+from .result import ExecutionResult
+
+__all__ = [
+    "Backend",
+    "TwoPartyBackend",
+    "OutsourcedBackend",
+    "FoldedBackend",
+    "CutAndChooseBackend",
+    "SimulateBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "run",
+]
+
+
+class Backend:
+    """One uniform execution flow over a compiled circuit.
+
+    Subclasses implement :meth:`run`; construction carries only
+    input-independent protocol parameters so one backend instance can
+    serve many requests (and many threads — backends hold no per-request
+    state).
+
+    Args:
+        kdf: garbling oracle shared by both parties.
+        ot_group: group for base OTs.
+        rng: randomness source for labels and OT.
+    """
+
+    #: Registry key, set by :func:`register_backend`.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        kdf: Optional[HashKDF] = None,
+        ot_group: OTGroup = MODP_2048,
+        rng=secrets,
+    ) -> None:
+        self.kdf = kdf
+        self.ot_group = ot_group
+        self.rng = rng
+
+    def run(
+        self,
+        circuit: Circuit,
+        client_bits: Sequence[int],
+        server_bits: Sequence[int],
+    ) -> ExecutionResult:
+        """Execute ``circuit`` on the two parties' plaintext input bits."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Backend]] = {}
+
+
+def register_backend(name: str):
+    """Class decorator: expose a :class:`Backend` under ``name``."""
+
+    def decorator(cls: Type[Backend]) -> Type[Backend]:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str, **options) -> Backend:
+    """Instantiate a registered backend by name.
+
+    Args:
+        name: registry key (see :func:`available_backends`).
+        options: constructor keywords of the chosen backend (``kdf``,
+            ``ot_group``, ``rng``, plus backend-specific knobs such as
+            ``copies`` for cut-and-choose or ``pool`` for two-party).
+
+    Raises:
+        EngineError: unknown name, or options the backend rejects.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown backend {name!r}; registered: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    try:
+        return cls(**options)
+    except TypeError as exc:
+        raise EngineError(f"bad options for backend {name!r}: {exc}") from None
+
+
+def run(
+    circuit: Circuit,
+    client_bits: Sequence[int],
+    server_bits: Sequence[int],
+    backend: str = "two_party",
+    **options,
+) -> ExecutionResult:
+    """One-call execution through any registered backend."""
+    return get_backend(backend, **options).run(circuit, client_bits, server_bits)
+
+
+# ---------------------------------------------------------------------------
+# the five built-in flows
+# ---------------------------------------------------------------------------
+
+
+@register_backend("two_party")
+class TwoPartyBackend(Backend):
+    """Direct client/server GC protocol (Fig. 3).
+
+    Args:
+        pool: optional :class:`PregarbledPool`; when it holds material
+            for the executed circuit the online run skips garbling
+            entirely (offline/online split).
+    """
+
+    def __init__(
+        self,
+        kdf: Optional[HashKDF] = None,
+        ot_group: OTGroup = MODP_2048,
+        rng=secrets,
+        pool: Optional[PregarbledPool] = None,
+    ) -> None:
+        super().__init__(kdf=kdf, ot_group=ot_group, rng=rng)
+        if pool is not None and not isinstance(pool, PregarbledPool):
+            raise EngineError("pool must be a PregarbledPool (or None)")
+        self.pool = pool
+
+    def run(self, circuit, client_bits, server_bits) -> ExecutionResult:
+        # validate widths before touching the pool so a malformed request
+        # cannot burn a single-use pre-garbled unit
+        if len(client_bits) != circuit.n_alice:
+            raise EngineError(
+                f"client input width mismatch: got {len(client_bits)}, "
+                f"circuit expects {circuit.n_alice}"
+            )
+        if len(server_bits) != circuit.n_bob:
+            raise EngineError(
+                f"server input width mismatch: got {len(server_bits)}, "
+                f"circuit expects {circuit.n_bob}"
+            )
+        pregarbled = None
+        if self.pool is not None and self.pool.circuit is circuit:
+            pregarbled = self.pool.acquire()
+        session = TwoPartySession(
+            circuit, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng
+        )
+        result = session.run(client_bits, server_bits, pregarbled=pregarbled)
+        metadata: Dict[str, object] = {"pregarbled": pregarbled is not None}
+        if pregarbled is not None:
+            metadata["offline_garble_s"] = pregarbled.garble_seconds
+        return ExecutionResult.from_protocol(result, self.name, metadata)
+
+
+@register_backend("outsourced")
+class OutsourcedBackend(Backend):
+    """XOR-share proxy flow for constrained clients (Sec. 3.3, Fig. 4)."""
+
+    def run(self, circuit, client_bits, server_bits) -> ExecutionResult:
+        session = OutsourcedSession(
+            circuit, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng
+        )
+        outcome = session.run(client_bits, server_bits)
+        result = outcome.proxy_result
+        return ExecutionResult(
+            outputs=list(outcome.outputs),
+            backend=self.name,
+            times=dict(result.times),
+            comm_bytes=result.total_comm_bytes,
+            n_xor=result.n_xor,
+            n_non_xor=result.n_non_xor,
+            metadata={"client_work_bits": len(client_bits)},
+        )
+
+
+@register_backend("folded")
+class FoldedBackend(Backend):
+    """Sequential-garbling execution path (the Sec. 3.5 machinery).
+
+    The combinational circuit is wrapped as a zero-register sequential
+    core and driven through :class:`repro.gc.sequential.SequentialSession`
+    for one clock cycle — the same code path that clocks folded MAC
+    cells, exercised at service level.
+    """
+
+    def run(self, circuit, client_bits, server_bits) -> ExecutionResult:
+        if circuit.n_state:
+            raise EngineError(
+                "folded backend expects a combinational compiled circuit"
+            )
+        sequential = SequentialCircuit(circuit, [])
+        session = SequentialSession(
+            sequential, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng
+        )
+        start = time.perf_counter()
+        result = session.run(
+            [list(client_bits)], [list(server_bits)], cycles=1
+        )
+        wall = time.perf_counter() - start
+        counts = circuit.counts()
+        garble = result.garble_times[0]
+        evaluate = result.evaluate_times[0]
+        return ExecutionResult(
+            outputs=list(result.final_outputs),
+            backend=self.name,
+            times={
+                "garble": garble,
+                # the session times only its garble/evaluate windows; the
+                # remainder is table transfer + OT, kept so cross-backend
+                # latency comparisons stay honest
+                "transfer_ot": max(wall - garble - evaluate, 0.0),
+                "evaluate": evaluate,
+            },
+            comm_bytes=sum(result.comm.values()),
+            n_xor=counts.xor,
+            n_non_xor=result.n_non_xor_per_cycle,
+            metadata={"cycles": 1},
+        )
+
+
+@register_backend("cut_and_choose")
+class CutAndChooseBackend(Backend):
+    """Covert-security execution: garble ``copies``, open all but one.
+
+    The evaluator verifies every opened copy against the garbler's seed
+    commitments before evaluating the surviving copy (Sec. 2.4's
+    cut-and-choose pointer).  A cheating garbler is detected with
+    probability ``1 - 1/copies``.
+
+    Args:
+        copies: independent garblings (>= 2).
+    """
+
+    def __init__(
+        self,
+        kdf: Optional[HashKDF] = None,
+        ot_group: OTGroup = MODP_2048,
+        rng=secrets,
+        copies: int = 3,
+    ) -> None:
+        super().__init__(kdf=kdf, ot_group=ot_group, rng=rng)
+        self.copies = copies
+
+    def _choose_surviving(self) -> int:
+        if hasattr(self.rng, "randrange"):
+            return self.rng.randrange(self.copies)
+        return secrets.randbelow(self.copies)
+
+    def run(self, circuit, client_bits, server_bits) -> ExecutionResult:
+        times: Dict[str, float] = {}
+
+        # garbler: k committed, seed-derived garblings.  The seed source
+        # must expose getrandbits; bridge module-style rngs (secrets)
+        # through a CSPRNG-seeded generator instead of downgrading to an
+        # unseeded Mersenne Twister.
+        start = time.perf_counter()
+        if hasattr(self.rng, "getrandbits"):
+            seed_rng = self.rng
+        else:
+            seed_rng = random.Random(secrets.randbits(128))
+        cnc = CutAndChooseGarbler(
+            circuit, copies=self.copies, kdf=self.kdf, rng=seed_rng
+        )
+        commitments = cnc.commitments()
+        tables = cnc.tables()
+        times["garble"] = time.perf_counter() - start
+
+        # evaluator: challenge all copies but one, verify each opening
+        start = time.perf_counter()
+        surviving = self._choose_surviving()
+        challenge = [i for i in range(self.copies) if i != surviving]
+        for opened in cnc.open(challenge):
+            if not verify_opened_copy(
+                circuit,
+                opened,
+                commitments[opened.index],
+                tables[opened.index],
+                kdf=self.kdf,
+            ):
+                raise EngineError(
+                    f"cut-and-choose: copy {opened.index} failed verification"
+                )
+        times["verify"] = time.perf_counter() - start
+
+        # evaluate the surviving copy (labels via OT, as in Fig. 3)
+        start = time.perf_counter()
+        garbler = cnc.evaluation_garbler(surviving)
+        bob_labels, ot_bytes = transfer_input_labels(
+            garbler,
+            list(circuit.bob_inputs),
+            list(server_bits),
+            group=self.ot_group,
+            rng=self.rng,
+        )
+        alice_labels = garbler.input_labels_for(
+            list(circuit.alice_inputs), list(client_bits)
+        )
+        evaluator = Evaluator(circuit, kdf=cnc.kdf)
+        wire_labels = evaluator.evaluate(
+            cnc.garbled[surviving], alice_labels, bob_labels
+        )
+        outputs = garbler.decode_outputs(evaluator.output_labels(wire_labels))
+        times["evaluate"] = time.perf_counter() - start
+
+        counts = circuit.counts()
+        comm = (
+            sum(len(t) for t in tables)       # every copy's tables travel
+            + sum(len(c) for c in commitments)
+            + 16 * len(alice_labels)
+            + ot_bytes
+            + 16 * len(circuit.outputs)       # merge-step output labels
+        )
+        return ExecutionResult(
+            outputs=outputs,
+            backend=self.name,
+            times=times,
+            comm_bytes=comm,
+            n_xor=counts.xor,
+            n_non_xor=counts.non_xor,
+            metadata={"copies": self.copies, "surviving": surviving},
+        )
+
+
+@register_backend("simulate")
+class SimulateBackend(Backend):
+    """Plaintext reference execution — no crypto, for tests and sizing."""
+
+    def run(self, circuit, client_bits, server_bits) -> ExecutionResult:
+        start = time.perf_counter()
+        outputs = simulate(circuit, client_bits, server_bits)
+        elapsed = time.perf_counter() - start
+        counts = circuit.counts()
+        return ExecutionResult(
+            outputs=outputs,
+            backend=self.name,
+            times={"simulate": elapsed},
+            comm_bytes=0,
+            n_xor=counts.xor,
+            n_non_xor=counts.non_xor,
+            metadata={},
+        )

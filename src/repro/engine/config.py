@@ -1,0 +1,99 @@
+"""`EngineConfig`: one object for every execution knob.
+
+Replaces the scattered constructor arguments of the seed service
+(``fmt`` / ``options`` / ``kdf`` / ``ot_group`` / ``rng``) with a single
+validated configuration the whole stack shares — the compiler reads the
+format and activation choice, the backend registry reads the backend
+name and options, and the service reads the serving knobs (pre-garbled
+pool size, history cap).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import secrets
+from typing import Any, Dict, Optional
+
+from ..circuits.fixedpoint import DEFAULT_FORMAT, FixedPointFormat
+from ..compile.compiler import CompileOptions
+from ..errors import EngineError
+from ..gc.cipher import HashKDF
+from ..gc.ot import MODP_2048, OTGroup
+from ..nn.quantize import ACTIVATION_VARIANTS
+
+__all__ = ["EngineConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineConfig:
+    """Everything needed to compile and execute private inferences.
+
+    Attributes:
+        fmt: fixed-point format (paper default 1.3.12).
+        activation: Table 3 realization for tanh/sigmoid ("cordic",
+            "exact", "truncated", "piecewise") — honored end to end: the
+            compiler instantiates it and the cleartext reference uses
+            the matching bit-exact table.
+        output: "argmax" (label index) or "logits" (raw scores).
+        honor_sparsity: skip gates for masked-out weights.
+        backend: registry name of the execution flow ("two_party",
+            "outsourced", "folded", "cut_and_choose", "simulate", or any
+            custom registration).
+        backend_options: extra keywords for the chosen backend's
+            constructor (e.g. ``{"copies": 4}`` for cut-and-choose).
+        kdf: garbling oracle; None selects the default SHA-256 backend.
+        ot_group: group for base OTs (production default MODP-2048).
+        rng: randomness source (``secrets``, or a seeded
+            ``random.Random`` for reproducible runs).
+        pool_size: pre-garbled circuit copies to keep ready (two-party
+            backend only; 0 disables the offline/online split).
+        history_limit: cap on retained inference records; 0 (default)
+            disables history entirely — recording is opt-in so sustained
+            traffic cannot grow memory without bound.
+    """
+
+    fmt: FixedPointFormat = DEFAULT_FORMAT
+    activation: str = "cordic"
+    output: str = "argmax"
+    honor_sparsity: bool = True
+    backend: str = "two_party"
+    backend_options: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    kdf: Optional[HashKDF] = None
+    ot_group: OTGroup = MODP_2048
+    rng: Any = secrets
+    pool_size: int = 0
+    history_limit: int = 0
+
+    def __post_init__(self) -> None:
+        from .backends import available_backends
+
+        if self.activation not in ACTIVATION_VARIANTS:
+            raise EngineError(
+                f"unknown activation variant {self.activation!r}; "
+                f"choose from {', '.join(ACTIVATION_VARIANTS)}"
+            )
+        if self.output not in ("argmax", "logits"):
+            raise EngineError(f"unknown output kind {self.output!r}")
+        if self.backend not in available_backends():
+            # fail fast: catching a typo here is milliseconds, catching it
+            # on the first infer() is after a full model compile
+            raise EngineError(
+                f"unknown backend {self.backend!r}; registered: "
+                f"{', '.join(available_backends())}"
+            )
+        if self.pool_size < 0:
+            raise EngineError("pool_size must be >= 0")
+        if self.history_limit < 0:
+            raise EngineError("history_limit must be >= 0")
+
+    def compile_options(self) -> CompileOptions:
+        """The compiler view of this configuration."""
+        return CompileOptions(
+            activation=self.activation,
+            output=self.output,
+            honor_sparsity=self.honor_sparsity,
+        )
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with some fields changed (frozen-dataclass helper)."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,112 @@
+"""Pre-garbled circuit pool — the offline/online split as a data structure.
+
+Garbling is input-independent (paper Sec. 3: the tables depend only on
+the public netlist), so a serving deployment garbles *ahead* of demand
+and answers each request with material popped from a pool.  The online
+critical path then contains only transfer + OT + evaluate + merge.
+
+The pool is thread-safe: :class:`repro.service.PrivateInferenceService`
+drains it from a thread pool under concurrent load.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from collections import deque
+from typing import Deque, Optional
+
+from ..circuits.netlist import Circuit
+from ..errors import EngineError
+from ..gc.cipher import HashKDF
+from ..gc.ot import MODP_2048, OTGroup
+from ..gc.protocol import Pregarbled, TwoPartySession
+
+__all__ = ["PregarbledPool"]
+
+
+class PregarbledPool:
+    """A bounded FIFO of single-use pre-garbled circuit copies.
+
+    Args:
+        circuit: the netlist future requests will execute.
+        capacity: maximum copies held at once (each copy holds all wire
+            labels and tables in memory — size the pool to the burst you
+            want to absorb, not to total traffic).
+        kdf: garbling oracle (must match the online session's).
+        ot_group: recorded so pooled and cold runs use the same session
+            parameters.
+        rng: label randomness source.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        capacity: int = 8,
+        kdf: Optional[HashKDF] = None,
+        ot_group: OTGroup = MODP_2048,
+        rng=secrets,
+    ) -> None:
+        if capacity < 1:
+            raise EngineError("pool capacity must be positive")
+        self.circuit = circuit
+        self.capacity = capacity
+        self._session = TwoPartySession(
+            circuit, kdf=kdf, ot_group=ot_group, rng=rng
+        )
+        self._items: Deque[Pregarbled] = deque()
+        self._lock = threading.Lock()
+        self._pending = 0
+        self.garbled_total = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def warm(self, count: Optional[int] = None) -> int:
+        """Garble up to ``count`` copies (default: fill to capacity).
+
+        This is the offline phase: run it while the service is idle.
+        Slots are reserved under the lock before the (expensive)
+        garbling starts, so concurrent ``warm()`` calls split the
+        remaining room instead of duplicating work.  Returns the number
+        of copies actually garbled by this call.
+        """
+        added = 0
+        while count is None or added < count:
+            with self._lock:
+                if len(self._items) + self._pending >= self.capacity:
+                    break
+                self._pending += 1
+            item = None
+            try:
+                item = self._session.pregarble()
+            finally:
+                with self._lock:
+                    self._pending -= 1
+                    if item is not None:
+                        self._items.append(item)
+                        self.garbled_total += 1
+            added += 1
+        return added
+
+    def acquire(self) -> Optional[Pregarbled]:
+        """Pop one pre-garbled copy, or None when the pool ran dry.
+
+        A None return means the caller pays the cold garbling cost
+        inline — the pool records the miss so operators can size
+        ``capacity`` from the hit rate.
+        """
+        with self._lock:
+            if self._items:
+                self.hits += 1
+                return self._items.popleft()
+            self.misses += 1
+            return None
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of acquisitions served from pre-garbled material."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -45,3 +45,7 @@ class TrainingError(ReproError):
 
 class PreprocessError(ReproError):
     """Raised by the data-projection / pruning pipeline."""
+
+
+class EngineError(ReproError):
+    """Raised by the unified execution engine (bad backend, bad options)."""

@@ -14,7 +14,13 @@ from .labels import LabelStore, permute_bit, random_delta, random_label
 from .ot import MODP_2048, TEST_GROUP_512, OTGroup, OTReceiver, OTSender, run_ot_batch
 from .ot_extension import extension_ot
 from .outsourcing import OutsourcedSession, outsource_circuit, split_input
-from .protocol import ProtocolResult, TwoPartySession, execute
+from .protocol import (
+    Pregarbled,
+    ProtocolResult,
+    TwoPartySession,
+    execute,
+    transfer_input_labels,
+)
 from .rowreduce import ROWS_PER_GATE, RowGarbled, evaluate_rows, garble_rows
 from .sequential import SequentialResult, SequentialSession
 
@@ -43,7 +49,9 @@ __all__ = [
     "make_channel_pair",
     "TwoPartySession",
     "ProtocolResult",
+    "Pregarbled",
     "execute",
+    "transfer_input_labels",
     "SequentialSession",
     "SequentialResult",
     "OutsourcedSession",

@@ -13,23 +13,71 @@ from __future__ import annotations
 
 import dataclasses
 import secrets
+import threading
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.netlist import Circuit
 from ..errors import ProtocolError
 from .channel import ChannelStats, make_channel_pair
 from .cipher import HashKDF, default_kdf
 from .evaluate import Evaluator
-from .garble import Garbler
+from .garble import GarbledCircuit, Garbler
 from .ot import MODP_2048, OTGroup
 from .ot_extension import extension_ot
 
-__all__ = ["ProtocolResult", "TwoPartySession", "execute"]
+__all__ = [
+    "Pregarbled",
+    "ProtocolResult",
+    "TwoPartySession",
+    "execute",
+    "transfer_input_labels",
+]
 
 #: Below this many evaluator input bits, base OT is used directly;
 #: above it, the IKNP extension amortizes the group operations.
 OT_EXTENSION_THRESHOLD = 128
+
+
+@dataclasses.dataclass
+class Pregarbled:
+    """Input-independent garbling material produced ahead of a request.
+
+    Garbling depends only on the (public) netlist, never on either
+    party's inputs — the paper's offline/online split lever: the garbler
+    can prepare tables for future inferences while the line is idle, so
+    the online critical path shrinks to transfer + OT + evaluate + merge.
+
+    A unit is single-use: wire labels must never encrypt two different
+    input sets (:meth:`claim` enforces this atomically, so concurrent
+    ``run`` calls cannot share one unit).
+
+    Attributes:
+        circuit: the netlist this material belongs to.
+        garbler: the garbler holding the secret wire labels.
+        garbled: the evaluator-side tables.
+        garble_seconds: offline wall time spent garbling.
+    """
+
+    circuit: Circuit
+    garbler: Garbler
+    garbled: GarbledCircuit
+    garble_seconds: float
+    consumed: bool = False
+    _claim_lock: threading.Lock = dataclasses.field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def claim(self) -> None:
+        """Mark the material used; at most one caller ever succeeds.
+
+        Raises:
+            ProtocolError: the material was already claimed.
+        """
+        with self._claim_lock:
+            if self.consumed:
+                raise ProtocolError("pregarbled material cannot be reused")
+            self.consumed = True
 
 
 @dataclasses.dataclass
@@ -95,11 +143,29 @@ class TwoPartySession:
         self.ot_group = ot_group
         self.rng = rng
 
+    def pregarble(self) -> Pregarbled:
+        """Run the input-independent garbling phase ahead of time.
+
+        Returns single-use material that a later :meth:`run` call can
+        consume via ``pregarbled=``, removing garbling from the online
+        critical path (the offline/online split of Sec. 3).
+        """
+        start = time.perf_counter()
+        garbler = Garbler(self.circuit, kdf=self.kdf, rng=self.rng)
+        garbled = garbler.garble()
+        return Pregarbled(
+            circuit=self.circuit,
+            garbler=garbler,
+            garbled=garbled,
+            garble_seconds=time.perf_counter() - start,
+        )
+
     def run(
         self,
         alice_bits: Sequence[int],
         bob_bits: Sequence[int],
         share_result: bool = False,
+        pregarbled: Optional[Pregarbled] = None,
     ) -> ProtocolResult:
         """Execute the protocol on plaintext inputs.
 
@@ -108,15 +174,24 @@ class TwoPartySession:
             bob_bits: the server's input bits (transferred only via OT).
             share_result: if True, Alice sends the decoded result back to
                 Bob (optional final step of Sec. 2.2.2).
+            pregarbled: offline material from :meth:`pregarble`; skips
+                the online garbling phase (``times['garble']`` is then
+                the near-zero bookkeeping cost).
         """
         circuit = self.circuit
         alice_end, bob_end, stats = make_channel_pair()
         times: Dict[str, float] = {}
 
-        # (i) garbling — Alice
+        # (i) garbling — Alice (offline when pregarbled material exists)
         start = time.perf_counter()
-        garbler = Garbler(circuit, kdf=self.kdf, rng=self.rng)
-        garbled = garbler.garble()
+        if pregarbled is not None:
+            if pregarbled.circuit is not circuit:
+                raise ProtocolError("pregarbled material is for a different circuit")
+            pregarbled.claim()
+            garbler, garbled = pregarbled.garbler, pregarbled.garbled
+        else:
+            garbler = Garbler(circuit, kdf=self.kdf, rng=self.rng)
+            garbled = garbler.garble()
         times["garble"] = time.perf_counter() - start
 
         # (ii) data transfer + OT
@@ -142,7 +217,7 @@ class TwoPartySession:
 
         # (iii) evaluation — Bob
         start = time.perf_counter()
-        evaluator = Evaluator(circuit, kdf=self.kdf)
+        evaluator = Evaluator(circuit, kdf=garbler.kdf)
         received = self._parse_tables(tables_blob, garbled)
         wire_labels = evaluator.evaluate(received, alice_labels, bob_labels)
         output_labels = evaluator.output_labels(wire_labels)
@@ -200,41 +275,77 @@ class TwoPartySession:
         stats: ChannelStats,
     ) -> List[int]:
         """Transfer Bob's input labels obliviously; accounts traffic."""
-        if len(wires) != len(bits):
-            raise ProtocolError("Bob's input width mismatch")
-        if not wires:
-            return []
-        pairs = []
-        for wire in wires:
-            zero, one = garbler.wire_label_pair(wire)
-            pairs.append((zero.to_bytes(16, "little"), one.to_bytes(16, "little")))
-        if len(wires) >= OT_EXTENSION_THRESHOLD:
-            chosen, transferred = extension_ot(
-                pairs, bits, group=self.ot_group, rng=self.rng
-            )
-            stats.record("a2b", "ot", transferred)
-        else:
-            chosen = self._base_ot(pairs, bits, stats)
-        return [int.from_bytes(data, "little") for data in chosen]
+        labels, _ = transfer_input_labels(
+            garbler, wires, bits,
+            group=self.ot_group, rng=self.rng, stats=stats,
+        )
+        return labels
 
-    def _base_ot(self, pairs, bits, stats: ChannelStats) -> List[bytes]:
+
+def transfer_input_labels(
+    garbler: Garbler,
+    wires: Sequence[int],
+    bits: Sequence[int],
+    group: OTGroup = MODP_2048,
+    rng=secrets,
+    stats: Optional[ChannelStats] = None,
+) -> Tuple[List[int], int]:
+    """Transfer the evaluator's input labels obliviously.
+
+    The single OT entry point every flow shares: below
+    :data:`OT_EXTENSION_THRESHOLD` input bits the base OT runs directly;
+    above it the IKNP extension amortizes the group operations.
+
+    Args:
+        garbler: holder of the wire label pairs (OT sender messages).
+        wires: the evaluator's input wire ids.
+        bits: the evaluator's plaintext choice bits.
+        group: group for base OTs.
+        rng: randomness source.
+        stats: optional channel accounting; traffic is recorded under
+            the ``"ot"`` tag when given.
+
+    Returns:
+        ``(labels, total_bytes)`` — the chosen labels and the OT traffic.
+    """
+    if len(wires) != len(bits):
+        raise ProtocolError("Bob's input width mismatch")
+    if not wires:
+        return [], 0
+    pairs = []
+    for wire in wires:
+        zero, one = garbler.wire_label_pair(wire)
+        pairs.append((zero.to_bytes(16, "little"), one.to_bytes(16, "little")))
+    total = 0
+
+    def account(direction: str, size: int) -> None:
+        nonlocal total
+        total += size
+        if stats is not None:
+            stats.record(direction, "ot", size)
+
+    if len(wires) >= OT_EXTENSION_THRESHOLD:
+        chosen, transferred = extension_ot(pairs, list(bits), group=group, rng=rng)
+        account("a2b", transferred)
+    else:
         from .ot import OTReceiver, OTSender
 
-        sender = OTSender(pairs, group=self.ot_group, rng=self.rng)
-        receiver = OTReceiver(bits, group=self.ot_group, rng=self.rng)
+        sender = OTSender(pairs, group=group, rng=rng)
+        receiver = OTReceiver(list(bits), group=group, rng=rng)
         c = sender.setup()
-        stats.record("a2b", "ot", (c.bit_length() + 7) // 8)
+        account("a2b", (c.bit_length() + 7) // 8)
         keys = receiver.public_keys(c)
-        stats.record(
-            "b2a", "ot", sum((k.bit_length() + 7) // 8 for k in keys)
-        )
+        account("b2a", sum((k.bit_length() + 7) // 8 for k in keys))
         responses = sender.respond(keys)
-        size = sum(
-            (g.bit_length() + 7) // 8 + len(e0) + len(e1)
-            for g, e0, e1 in responses
+        account(
+            "a2b",
+            sum(
+                (g.bit_length() + 7) // 8 + len(e0) + len(e1)
+                for g, e0, e1 in responses
+            ),
         )
-        stats.record("a2b", "ot", size)
-        return receiver.recover(responses)
+        chosen = receiver.recover(responses)
+    return [int.from_bytes(data, "little") for data in chosen], total
 
 
 def execute(

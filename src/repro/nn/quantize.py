@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..circuits.activations import VARIANT_CIRCUITS
 from ..circuits.activations.cordic import (
     hyperbolic_plan,
     sigmoid_reference,
@@ -38,6 +39,7 @@ __all__ = [
     "fixed_mul",
     "saturate",
     "activation_table",
+    "ACTIVATION_VARIANTS",
     "QuantizedDense",
     "QuantizedConv2D",
     "QuantizedModel",
@@ -60,6 +62,62 @@ def saturate(value: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
 
 _TABLE_CACHE: Dict[Tuple, np.ndarray] = {}
 
+#: Variants whose reference table is derived from the Table 3 circuit
+#: itself (the approximation realizations have no closed-form reference).
+_CIRCUIT_TABLE_VARIANTS = ("truncated", "piecewise")
+
+#: Valid activation variant names, taken from the compiler's
+#: variant-to-circuit map so new variants become visible everywhere
+#: (EngineConfig validation, CLI choices) without a second edit.
+ACTIVATION_VARIANTS = tuple(VARIANT_CIRCUITS)
+
+
+def _circuit_variant_table(kind: str, fmt: FixedPointFormat, variant: str) -> np.ndarray:
+    """Exhaustive truth table of a Table 3 circuit realization.
+
+    The truncated and piecewise activations are circuit-level
+    approximations with no closed-form reference, so the reference table
+    is obtained by building the exact circuit the compiler would emit
+    and evaluating it over every representable input pattern.  The sweep
+    is vectorized — every wire carries a numpy vector of pattern chunks
+    (the gate lambdas are pure bitwise ops, so they broadcast) — which
+    keeps the paper-default 16-bit format tractable (sub-second instead
+    of minutes of per-pattern Python simulation).
+    """
+    from ..circuits.activations import VARIANT_CIRCUITS, VARIANTS
+    from ..circuits.builder import CircuitBuilder
+    from ..circuits.netlist import CONST_ONE, CONST_ZERO
+
+    builder = CircuitBuilder(name=f"{kind}_{variant}_table")
+    x = builder.add_alice_inputs(fmt.width, name="x")
+    out = VARIANTS[VARIANT_CIRCUITS[variant][kind]](builder, x, fmt)
+    builder.mark_output_bus(out, name="y")
+    circuit = builder.build()
+    size = 1 << fmt.width
+    out_width = len(circuit.outputs)
+    table = np.zeros(size, dtype=np.int64)
+    chunk = min(size, 8192)  # bound per-wire memory for wide formats
+    for base in range(0, size, chunk):
+        patterns = np.arange(base, min(base + chunk, size), dtype=np.int64)
+        values: Dict[int, np.ndarray] = {
+            CONST_ZERO: np.zeros(len(patterns), dtype=np.uint8),
+            CONST_ONE: np.ones(len(patterns), dtype=np.uint8),
+        }
+        for i, wire in enumerate(circuit.alice_inputs):
+            values[wire] = ((patterns >> i) & 1).astype(np.uint8)
+        for gate in circuit.gates:
+            if gate.b is None:
+                values[gate.out] = gate.op.eval(values[gate.a])
+            else:
+                values[gate.out] = gate.op.eval(values[gate.a], values[gate.b])
+        word = np.zeros(len(patterns), dtype=np.int64)
+        for i, wire in enumerate(circuit.outputs):
+            word |= values[wire].astype(np.int64) << i
+        table[patterns] = np.where(
+            (word >> (out_width - 1)) & 1, word - (1 << out_width), word
+        )
+    return table
+
 
 def activation_table(
     kind: str, fmt: FixedPointFormat, variant: str = "exact"
@@ -69,9 +127,11 @@ def activation_table(
     Args:
         kind: "tanh" or "sigmoid".
         fmt: I/O fixed-point format.
-        variant: "exact" (rounded float — matches the LUT circuits) or
+        variant: "exact" (rounded float — matches the LUT circuits),
             "cordic" (bit-exact CORDIC reference — matches the CORDIC
-            circuits the paper uses in Sec. 4.5).
+            circuits the paper uses in Sec. 4.5), or "truncated" /
+            "piecewise" (bit-exact tables derived by simulating the
+            Table 3 approximation circuits over the full input domain).
 
     Returns:
         int64 array of size ``2**width`` indexed by the unsigned bit
@@ -99,6 +159,8 @@ def activation_table(
         for pattern in range(size):
             signed = fmt.from_unsigned(pattern)
             table[pattern] = fmt.encode(fn(fmt.decode(signed)))
+    elif variant in _CIRCUIT_TABLE_VARIANTS:
+        table = _circuit_variant_table(kind, fmt, variant)
     else:
         raise QuantizationError(f"unknown activation variant {variant!r}")
     _TABLE_CACHE[key] = table
@@ -194,8 +256,10 @@ class QuantizedModel:
     Args:
         model: trained float model.
         fmt: fixed-point format (paper default 1.3.12).
-        activation_variant: "cordic" (paper Sec. 4.5 configuration) or
-            "exact" (LUT circuits).
+        activation_variant: "cordic" (paper Sec. 4.5 configuration),
+            "exact" (LUT circuits), "truncated" or "piecewise" (the
+            Table 3 approximation circuits, referenced bit-exactly via
+            simulated truth tables).
     """
 
     def __init__(
@@ -204,6 +268,11 @@ class QuantizedModel:
         fmt: FixedPointFormat = DEFAULT_FORMAT,
         activation_variant: str = "cordic",
     ) -> None:
+        if activation_variant not in ACTIVATION_VARIANTS:
+            raise QuantizationError(
+                f"unknown activation variant {activation_variant!r}; "
+                f"choose from {', '.join(ACTIVATION_VARIANTS)}"
+            )
         self.fmt = fmt
         self.activation_variant = activation_variant
         self.input_shape = model.input_shape

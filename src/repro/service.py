@@ -5,43 +5,100 @@ behind the interface a deployment would expose: hand the service a
 trained model once, then ask it for private inferences and cost
 projections.  This is the "paid inference service" setting the paper's
 HbC discussion motivates (Sec. 2.4).
+
+The service is built on :mod:`repro.engine`: every execution flow is a
+named backend, configuration lives in one :class:`repro.engine.EngineConfig`,
+and the paper's input-independent garbling (Sec. 3) becomes an
+offline/online split — :meth:`PrivateInferenceService.prepare` garbles a
+pool of circuit copies ahead of requests so the online path pays only
+transfer + OT + evaluate + merge.  :meth:`infer_many` serves concurrent
+requests from a thread pool.
+
+Legacy surface: the seed's ``PrivateInferenceService(model, fmt=...,
+options=..., ...)`` construction and ``infer(sample, outsourced=True)``
+keep working as thin deprecation shims over the new API.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import secrets
-from typing import Dict, List, Optional, Sequence
+import threading
+import warnings
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from .circuits.fixedpoint import DEFAULT_FORMAT, FixedPointFormat
+from .circuits.fixedpoint import FixedPointFormat
 from .compile.compiler import CompiledModel, CompileOptions, compile_model
 from .compile.costmodel import CostBreakdown, GCCostModel
+from .engine import Backend, EngineConfig, PregarbledPool, get_backend
+from .engine.result import ExecutionResult
 from .errors import CompileError
 from .gc.cipher import HashKDF
-from .gc.ot import MODP_2048, OTGroup
-from .gc.outsourcing import OutsourcedSession
-from .gc.protocol import ProtocolResult, TwoPartySession
+from .gc.ot import OTGroup
 from .nn.model import Sequential
 from .nn.quantize import QuantizedModel
 
-__all__ = ["InferenceRecord", "PrivateInferenceService"]
+__all__ = [
+    "InferenceRequest",
+    "InferenceResult",
+    "InferenceRecord",
+    "PrivateInferenceService",
+]
+
+#: History cap applied when a service is built through the legacy
+#: keyword shim (the seed recorded every inference; new-style configs
+#: opt in explicitly via ``EngineConfig.history_limit``).
+_LEGACY_HISTORY_LIMIT = 512
 
 
 @dataclasses.dataclass
-class InferenceRecord:
-    """One private inference: the label plus full protocol accounting."""
+class InferenceRequest:
+    """One unit of serving work.
+
+    Attributes:
+        sample: the client's raw feature vector.
+        request_id: opaque caller tag, echoed on the result.
+        backend: per-request backend override (None = service default).
+    """
+
+    sample: np.ndarray
+    request_id: Optional[str] = None
+    backend: Optional[str] = None
+
+
+@dataclasses.dataclass
+class InferenceResult:
+    """One private inference: the label plus full protocol accounting.
+
+    Attributes:
+        label: the decoded class index.
+        comm_bytes: total protocol traffic.
+        times: seconds per online phase.
+        n_non_xor: non-free gates of the executed netlist.
+        backend: name of the execution flow that served the request.
+        request_id: echoed from the request, if any.
+        pregarbled: True when the garbling came from the offline pool.
+    """
 
     label: int
     comm_bytes: int
     times: Dict[str, float]
     n_non_xor: int
+    backend: str = "two_party"
+    request_id: Optional[str] = None
+    pregarbled: bool = False
 
     @property
     def wall_seconds(self) -> float:
-        """Single-thread protocol time."""
+        """Single-thread online protocol time."""
         return sum(self.times.values())
+
+
+#: Deprecated alias — the seed's name for :class:`InferenceResult`.
+InferenceRecord = InferenceResult
 
 
 class PrivateInferenceService:
@@ -49,76 +106,255 @@ class PrivateInferenceService:
 
     Args:
         model: the trained float model (the server's private asset).
-        fmt: fixed-point format (paper default 1.3.12; smaller formats
-            shrink the circuit for interactive use).
-        options: compiler options (activation variant, output kind).
-        kdf / ot_group / rng: protocol parameters.
+        config: the full execution configuration.  When omitted, one is
+            assembled from the legacy keywords below (deprecated path).
+        fmt / options / kdf / ot_group / rng: seed-era knobs, kept as a
+            deprecation shim (the seed's positional order ``model, fmt,
+            options, kdf, ot_group, rng`` still binds); pass ``config``
+            instead.
     """
 
     def __init__(
         self,
         model: Sequential,
-        fmt: FixedPointFormat = DEFAULT_FORMAT,
+        config: Optional[EngineConfig] = None,
         options: Optional[CompileOptions] = None,
         kdf: Optional[HashKDF] = None,
-        ot_group: OTGroup = MODP_2048,
-        rng=secrets,
+        ot_group: Optional[OTGroup] = None,
+        rng=None,
+        *,
+        fmt: Optional[FixedPointFormat] = None,
     ) -> None:
-        options = options or CompileOptions(activation="cordic", output="argmax")
-        if options.output != "argmax":
+        if isinstance(config, FixedPointFormat):
+            # seed-era positional call: PrivateInferenceService(model, fmt, ...)
+            if fmt is not None:
+                raise CompileError("fixed-point format given twice")
+            config, fmt = None, config
+        legacy = [fmt, options, kdf, ot_group, rng]
+        if config is None:
+            config = self._config_from_legacy(fmt, options, kdf, ot_group, rng)
+        elif not isinstance(config, EngineConfig):
+            raise CompileError(
+                f"config must be an EngineConfig, got {type(config).__name__}"
+            )
+        elif any(arg is not None for arg in legacy):
+            raise CompileError(
+                "pass either config=EngineConfig(...) or the legacy "
+                "keywords, not both"
+            )
+        if config.output != "argmax":
             raise CompileError("the service API serves labels (argmax)")
-        variant = "exact" if options.activation == "exact" else "cordic"
-        self.quantized = QuantizedModel(model, fmt, activation_variant=variant)
-        self.compiled: CompiledModel = compile_model(self.quantized, options)
+        self.config = config
+        self.quantized = QuantizedModel(
+            model, config.fmt, activation_variant=config.activation
+        )
+        self.compiled: CompiledModel = compile_model(
+            self.quantized, config.compile_options()
+        )
         self._server_bits = self.compiled.server_bits()
-        self.kdf = kdf
-        self.ot_group = ot_group
-        self.rng = rng
-        self.history: List[InferenceRecord] = []
+        self._history: Deque[InferenceResult] = deque(
+            maxlen=config.history_limit
+        )
+        self._backends: Dict[str, Backend] = {}
+        self._lock = threading.Lock()
+        # the pool is created at its configured capacity but stays cold:
+        # prepare() is the explicit offline phase (garbling is work the
+        # operator schedules, not a construction side effect)
+        self._pool: Optional[PregarbledPool] = (
+            self._make_pool(config.pool_size) if config.pool_size > 0 else None
+        )
+
+    @staticmethod
+    def _config_from_legacy(fmt, options, kdf, ot_group, rng) -> EngineConfig:
+        """Map seed-era constructor keywords onto an :class:`EngineConfig`."""
+        any_legacy = any(
+            arg is not None for arg in (fmt, options, kdf, ot_group, rng)
+        )
+        if any_legacy:
+            warnings.warn(
+                "PrivateInferenceService(fmt=..., options=..., ...) is "
+                "deprecated; pass config=EngineConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        options = options or CompileOptions(activation="cordic", output="argmax")
+        config_kwargs = dict(
+            activation=options.activation,
+            output=options.output,
+            honor_sparsity=options.honor_sparsity,
+            # only seed-era call sites get the record-by-default cap;
+            # bare construction matches EngineConfig()'s opt-in default
+            history_limit=_LEGACY_HISTORY_LIMIT if any_legacy else 0,
+        )
+        if fmt is not None:
+            config_kwargs["fmt"] = fmt
+        if kdf is not None:
+            config_kwargs["kdf"] = kdf
+        if ot_group is not None:
+            config_kwargs["ot_group"] = ot_group
+        if rng is not None:
+            config_kwargs["rng"] = rng
+        return EngineConfig(**config_kwargs)
+
+    # -- offline phase ----------------------------------------------------
+
+    def _make_pool(self, capacity: int) -> PregarbledPool:
+        """A pool wired to this service's circuit and protocol params."""
+        return PregarbledPool(
+            self.compiled.circuit,
+            capacity=capacity,
+            kdf=self.config.kdf,
+            ot_group=self.config.ot_group,
+            rng=self.config.rng,
+        )
+
+    @property
+    def pool(self) -> Optional[PregarbledPool]:
+        """The pre-garbled pool, when the config enables one."""
+        return self._pool
+
+    @property
+    def history(self) -> List[InferenceResult]:
+        """Snapshot of retained inference records (newest last).
+
+        Backed by a deque capped at ``EngineConfig.history_limit`` (0
+        retains nothing; the legacy constructor shim caps at 512 instead
+        of the seed's unbounded list).  Returned as a list so seed-era
+        slicing keeps working.
+        """
+        return list(self._history)
+
+    def prepare(self, count: Optional[int] = None) -> int:
+        """Pre-garble circuit copies ahead of requests (offline phase).
+
+        Garbling is input-independent, so this work happens before any
+        client shows up; subsequent :meth:`infer` calls on the two-party
+        backend skip online garbling while the pool lasts.  Creates the
+        pool on first use when ``EngineConfig.pool_size`` is 0 (sized to
+        ``count``).  Returns the number of copies garbled.
+        """
+        if self._pool is None:
+            with self._lock:
+                if self._pool is None:
+                    self._pool = self._make_pool(count or 8)
+                    # the cached two-party backend predates the pool
+                    self._backends.pop("two_party", None)
+        if count is not None and count > self._pool.capacity:
+            # capacity is a sizing knob, not a contract: an explicit
+            # prepare(n) beyond it grows the pool rather than silently
+            # warming fewer copies than asked
+            self._pool.capacity = count
+        return self._pool.warm(count)
 
     # -- inference --------------------------------------------------------
 
-    def infer(self, sample: np.ndarray, outsourced: bool = False) -> InferenceRecord:
+    def _backend(self, name: str) -> Backend:
+        """Backend instance for ``name`` (cached; backends are stateless)."""
+        with self._lock:
+            backend = self._backends.get(name)
+            if backend is None:
+                options = dict(
+                    kdf=self.config.kdf,
+                    ot_group=self.config.ot_group,
+                    rng=self.config.rng,
+                )
+                if name == self.config.backend:
+                    options.update(self.config.backend_options)
+                if name == "two_party" and self._pool is not None:
+                    options.setdefault("pool", self._pool)
+                backend = get_backend(name, **options)
+                self._backends[name] = backend
+        return backend
+
+    def execute(self, request: InferenceRequest) -> InferenceResult:
+        """Serve one typed request through the configured engine."""
+        sample = np.asarray(request.sample)
+        backend = self._backend(request.backend or self.config.backend)
+        result: ExecutionResult = backend.run(
+            self.compiled.circuit,
+            self.compiled.client_bits(sample),
+            self._server_bits,
+        )
+        record = InferenceResult(
+            label=self.compiled.decode_output(result.outputs),
+            comm_bytes=result.comm_bytes,
+            times=dict(result.times),
+            n_non_xor=result.n_non_xor,
+            backend=result.backend,
+            request_id=request.request_id,
+            pregarbled=bool(result.metadata.get("pregarbled", False)),
+        )
+        self._history.append(record)
+        return record
+
+    def infer(
+        self,
+        sample: np.ndarray,
+        outsourced: bool = False,
+        backend: Optional[str] = None,
+        request_id: Optional[str] = None,
+    ) -> InferenceResult:
         """Run one private inference (full garbled protocol).
 
         Args:
             sample: the client's raw feature vector.
-            outsourced: run through the XOR-share proxy flow (Sec. 3.3)
-                instead of the direct two-party protocol.
+            outsourced: deprecated — equivalent to ``backend="outsourced"``
+                (the Sec. 3.3 XOR-share proxy flow).
+            backend: execution flow override (None = config default).
+            request_id: opaque tag echoed on the result.
         """
-        client_bits = self.compiled.client_bits(sample)
         if outsourced:
-            session = OutsourcedSession(
-                self.compiled.circuit,
-                kdf=self.kdf,
-                ot_group=self.ot_group,
-                rng=self.rng,
+            if backend is not None and backend != "outsourced":
+                raise CompileError(
+                    f"outsourced=True conflicts with backend={backend!r}"
+                )
+            warnings.warn(
+                'infer(sample, outsourced=True) is deprecated; use '
+                'backend="outsourced"',
+                DeprecationWarning,
+                stacklevel=2,
             )
-            outcome = session.run(client_bits, self._server_bits)
-            result: ProtocolResult = outcome.proxy_result
-            outputs = outcome.outputs
-        else:
-            session = TwoPartySession(
-                self.compiled.circuit,
-                kdf=self.kdf,
-                ot_group=self.ot_group,
-                rng=self.rng,
+            backend = "outsourced"
+        return self.execute(
+            InferenceRequest(
+                sample=np.asarray(sample), request_id=request_id, backend=backend
             )
-            result = session.run(client_bits, self._server_bits)
-            outputs = result.outputs
-        record = InferenceRecord(
-            label=self.compiled.decode_output(outputs),
-            comm_bytes=result.total_comm_bytes,
-            times=dict(result.times),
-            n_non_xor=result.n_non_xor,
         )
-        self.history.append(record)
-        return record
+
+    def infer_many(
+        self,
+        requests: Sequence[Union[InferenceRequest, np.ndarray]],
+        max_workers: int = 4,
+    ) -> List[InferenceResult]:
+        """Serve a batch of requests concurrently (thread pool).
+
+        GC gives no per-sample batching discount (Fig. 6's point), but
+        independent protocol runs parallelize across cores/connections;
+        with a warm pre-garbled pool the per-request online path is
+        transfer + OT + evaluate + merge only.  Results come back in
+        request order.
+        """
+        normalized = [
+            r
+            if isinstance(r, InferenceRequest)
+            else InferenceRequest(sample=np.asarray(r))
+            for r in requests
+        ]
+        if not normalized:
+            return []
+        workers = max(1, min(max_workers, len(normalized)))
+        if workers == 1:
+            return [self.execute(r) for r in normalized]
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(self.execute, normalized))
 
     def infer_batch(self, samples: np.ndarray) -> List[int]:
         """Private inference over a batch (one protocol run per sample —
         GC has no batching discount, which is Fig. 6's whole point)."""
-        return [self.infer(sample).label for sample in samples]
+        return [
+            result.label
+            for result in self.infer_many(list(samples), max_workers=1)
+        ]
 
     def cleartext_label(self, sample: np.ndarray) -> int:
         """The reference label the server would compute in the clear."""
@@ -155,5 +391,6 @@ class PrivateInferenceService:
             f"{self.compiled.n_features} features -> "
             f"{self.compiled.n_classes} classes | "
             f"{counts.xor} XOR + {counts.non_xor} non-XOR gates | "
-            f"{self.compiled.fmt.describe()}"
+            f"{self.compiled.fmt.describe()} | "
+            f"backend {self.config.backend}"
         )

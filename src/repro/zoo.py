@@ -14,9 +14,11 @@ ones (see DESIGN.md discrepancy #1).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
+
+from .engine import EngineConfig
 
 from .compile.gatecount import Architecture, activation, conv, fc, softmax
 from .data import generate_audio_features, generate_digits, generate_sensing
@@ -34,6 +36,7 @@ __all__ = [
     "build_benchmark3_model",
     "build_benchmark4_model",
     "benchmark_dataset",
+    "build_service",
 ]
 
 #: Table 5's "Data and Network Compaction" folds per benchmark.
@@ -184,3 +187,57 @@ def benchmark_dataset(
     if name == "benchmark4":
         return generate_sensing(n_samples, seed=seed)
     raise KeyError(f"unknown benchmark {name!r}")
+
+
+_MODEL_BUILDERS = {
+    "benchmark1": build_benchmark1_model,
+    "benchmark2": build_benchmark2_model,
+    "benchmark3": build_benchmark3_model,
+    "benchmark4": build_benchmark4_model,
+}
+
+
+def build_service(
+    name: str,
+    scale: float = 0.1,
+    config: Optional[EngineConfig] = None,
+    n_train: int = 400,
+    epochs: int = 12,
+    seed: int = 0,
+):
+    """A ready :class:`repro.service.PrivateInferenceService` for a benchmark.
+
+    Trains the (down-scaled) benchmark model on its synthetic dataset
+    and wraps it in the unified engine service, so every zoo workload is
+    one call away from any execution backend::
+
+        service = zoo.build_service("benchmark3", scale=0.1,
+                                    config=EngineConfig(backend="simulate"))
+        service.infer(sample)
+
+    Args:
+        name: "benchmark1" .. "benchmark4".
+        scale: width multiplier for the trainable model (1.0 = paper
+            scale; keep well below 1 for live GC runs).
+        config: engine configuration (default: :class:`EngineConfig`'s
+            defaults — production OT group, cordic activations).
+        n_train: synthetic training samples.
+        epochs: training epochs.
+        seed: model/dataset seed.
+
+    Returns:
+        ``(service, (x, y))`` — the service plus its training data, so
+        callers can immediately issue requests with in-distribution
+        samples.
+    """
+    from .nn import TrainConfig, Trainer
+    from .service import PrivateInferenceService
+
+    builder = _MODEL_BUILDERS.get(name)
+    if builder is None:
+        raise KeyError(f"unknown benchmark {name!r}")
+    model = builder(scale=scale, seed=seed)
+    x, y = benchmark_dataset(name, n_train, seed=seed)
+    Trainer(model, TrainConfig(epochs=epochs, learning_rate=0.1)).fit(x, y)
+    service = PrivateInferenceService(model, config or EngineConfig())
+    return service, (x, y)

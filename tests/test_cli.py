@@ -38,6 +38,21 @@ class TestCLI:
         assert main(["throughput", "--gates", "1000"]) == 0
         assert "gates/s" in capsys.readouterr().out
 
+    def test_infer_simulate_backend(self, capsys):
+        assert main(["infer", "--backend", "simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "[simulate]" in out and "label" in out
+
+    def test_infer_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["infer", "--backend", "morse_code"])
+
+    def test_serve_reports_pool_and_throughput(self, capsys):
+        assert main(["serve", "-n", "2", "-w", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "pre-garbled" in out and "req/s" in out
+        assert "cleartext agreement: OK" in out
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
@@ -46,5 +61,5 @@ class TestCLI:
         parser = build_parser()
         text = parser.format_help()
         for command in ("table3", "table4", "table5", "table6", "fig6",
-                        "throughput", "demo"):
+                        "throughput", "demo", "infer", "serve"):
             assert command in text

@@ -44,23 +44,17 @@ class TestExamples:
 
     def test_quickstart_pieces(self, capsys):
         """The quickstart flow with the fast OT group (same code path,
-        test-grade group parameters)."""
+        test-grade group parameters): cold run, pre-garbled run, and a
+        second backend, all through the engine-configured service."""
         import random
 
         import numpy as np
 
         from repro.circuits import FixedPointFormat
-        from repro.compile import CompileOptions, compile_model
-        from repro.gc import execute
+        from repro.engine import EngineConfig
         from repro.gc.ot import TEST_GROUP_512
-        from repro.nn import (
-            Dense,
-            QuantizedModel,
-            Sequential,
-            Tanh,
-            TrainConfig,
-            Trainer,
-        )
+        from repro.nn import Dense, Sequential, Tanh, TrainConfig, Trainer
+        from repro.service import PrivateInferenceService
 
         rng = np.random.default_rng(0)
         x = rng.uniform(-1, 1, size=(300, 12))
@@ -68,18 +62,21 @@ class TestExamples:
         y = (x @ w).argmax(axis=1)
         model = Sequential([Dense(8), Tanh(), Dense(4)], input_shape=(12,), seed=1)
         Trainer(model, TrainConfig(epochs=20, learning_rate=0.2)).fit(x, y)
-        fmt = FixedPointFormat(2, 6)
-        quantized = QuantizedModel(model, fmt, activation_variant="exact")
-        compiled = compile_model(
-            quantized, CompileOptions(activation="exact", output="argmax")
-        )
-        result = execute(
-            compiled.circuit,
-            compiled.client_bits(x[0]),
-            compiled.server_bits(),
+        service = PrivateInferenceService(model, EngineConfig(
+            fmt=FixedPointFormat(2, 6),
+            activation="exact",
             ot_group=TEST_GROUP_512,
             rng=random.Random(42),
-        )
-        assert compiled.decode_output(result.outputs) == int(
-            quantized.predict(x[0][None])[0]
-        )
+        ))
+        expected = service.cleartext_label(x[0])
+
+        cold = service.infer(x[0])
+        assert cold.label == expected and not cold.pregarbled
+
+        service.prepare(1)
+        warm = service.infer(x[0])
+        assert warm.label == expected and warm.pregarbled
+        assert warm.times["garble"] < cold.times["garble"]
+
+        outsourced = service.infer(x[0], backend="outsourced")
+        assert outsourced.label == expected

@@ -69,6 +69,34 @@ class TestZoo:
         assert x3.shape[1] == 617
         assert x4.shape[1] == 5625
 
+    def test_build_service_engine_wiring(self):
+        """zoo benchmarks plug straight into the unified engine API."""
+        from repro.circuits import FixedPointFormat
+        from repro.engine import EngineConfig
+        from repro.zoo import build_service
+
+        service, (x, _) = build_service(
+            "benchmark3",
+            scale=0.05,
+            config=EngineConfig(
+                fmt=FixedPointFormat(2, 6),
+                activation="exact",
+                backend="simulate",
+            ),
+            n_train=200,
+            epochs=4,
+            seed=3,
+        )
+        record = service.infer(x[0])
+        assert record.backend == "simulate"
+        assert record.label == service.cleartext_label(x[0])
+
+    def test_build_service_unknown_benchmark(self):
+        from repro.zoo import build_service
+
+        with pytest.raises(KeyError):
+            build_service("benchmark9")
+
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(KeyError):
             benchmark_dataset("benchmark9", 10)

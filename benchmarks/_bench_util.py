@@ -1,8 +1,20 @@
 """Shared helpers for the benchmark harness."""
 
+import json
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Repo-root perf trajectory: every engine benchmark run appends or
+#: refreshes its entry here, so speed regressions are visible across
+#: PRs (CI uploads the file as an artifact).
+TRAJECTORY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
+
+
+def quick_mode() -> bool:
+    """True when the benchmarks should run their fast CI configuration."""
+    return bool(os.environ.get("REPRO_BENCH_QUICK"))
 
 
 def write_report(results_dir, name: str, text: str) -> None:
@@ -10,3 +22,23 @@ def write_report(results_dir, name: str, text: str) -> None:
     path = results_dir / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n[{name}]\n{text}")
+
+
+def record_trajectory(entry_id: str, payload: dict) -> None:
+    """Upsert one entry of the perf trajectory (keyed by ``entry_id``).
+
+    The file keeps one entry per benchmark id so re-runs refresh their
+    numbers in place while entries from other benchmarks/PRs persist.
+    """
+    data = {"entries": []}
+    if TRAJECTORY_PATH.exists():
+        try:
+            data = json.loads(TRAJECTORY_PATH.read_text())
+        except (ValueError, OSError):
+            data = {"entries": []}
+    entries = [e for e in data.get("entries", []) if e.get("id") != entry_id]
+    entries.append({"id": entry_id, **payload})
+    data["entries"] = entries
+    TRAJECTORY_PATH.write_text(json.dumps(data, indent=2, sort_keys=True)
+                               + "\n")
+    print(f"\n[trajectory:{entry_id}] -> {TRAJECTORY_PATH}")

@@ -16,7 +16,7 @@ import pytest
 from repro.cli import _demo_service
 from repro.engine import available_backends
 
-from _bench_util import write_report
+from _bench_util import record_trajectory, write_report
 
 
 @pytest.fixture(scope="module")
@@ -51,6 +51,17 @@ def test_offline_online_split(benchmark, service_and_data, results_dir):
         f"online speedup: {cold.wall_seconds / warm.wall_seconds:.2f}x"
     )
     write_report(results_dir, "engine_offline_online", text)
+    record_trajectory(
+        "pr2-offline-online-split",
+        {
+            "pr": 2,
+            "cold_online_s": round(cold.wall_seconds, 6),
+            "pooled_online_s": round(warm.wall_seconds, 6),
+            "online_speedup": round(
+                cold.wall_seconds / warm.wall_seconds, 3
+            ),
+        },
+    )
 
 
 def test_concurrent_serving_throughput(benchmark, service_and_data, results_dir):

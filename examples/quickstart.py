@@ -45,6 +45,15 @@ def main() -> None:
     #    small; the paper uses 1.3.12.  The 2048-bit OT group is the
     #    honest production parameter — pure-Python modexp dominates the
     #    wall time.)
+    #
+    #    Engine knobs worth knowing:
+    #    - vectorized=True (default): the level-scheduled NumPy garbling
+    #      engine, bit-exact with the scalar reference at >2x throughput;
+    #      set False to run the gate-at-a-time loop.
+    #    - pool_refill="opportunistic" (default): a drained pre-garbled
+    #      pool refills itself off-thread after each acquire;
+    #      "background" keeps a daemon topping it up, "none" restores
+    #      operator-managed warming.
     config = EngineConfig(
         fmt=FixedPointFormat(int_bits=2, frac_bits=6),
         activation="exact",

@@ -25,12 +25,19 @@ carried over from the previous clock cycle (TinyGarble-style).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CircuitError
-from .gates import Gate, GateType
+from .gates import AND_REDUCTION, Gate, GateType
 
-__all__ = ["Circuit", "GateCounts", "CONST_ZERO", "CONST_ONE"]
+__all__ = [
+    "Circuit",
+    "GateCounts",
+    "LevelSchedule",
+    "ScheduleLevel",
+    "CONST_ZERO",
+    "CONST_ONE",
+]
 
 CONST_ZERO = 0
 CONST_ONE = 1
@@ -91,6 +98,10 @@ class Circuit:
         self.input_names: Dict[str, List[int]] = input_names or {}
         #: named groups of output wires
         self.output_names: Dict[str, List[int]] = output_names or {}
+        # lazily built, cached level schedule (circuits are immutable by
+        # convention once handed out, so one schedule serves every
+        # garble/evaluate over this netlist)
+        self._level_schedule: Optional["LevelSchedule"] = None
 
     # -- wire ranges -----------------------------------------------------
 
@@ -192,6 +203,27 @@ class Circuit:
             return 0
         return max(level[w] for w in self.outputs)
 
+    # -- level schedule --------------------------------------------------
+
+    def level_schedule(self) -> "LevelSchedule":
+        """Topological level schedule for vectorized garbling/evaluation.
+
+        Gates are grouped into dependency levels: every gate at level
+        ``L`` reads only wires driven at levels ``< L`` (inputs and
+        constants sit at level 0), so all gates within one level are
+        independent and can be processed as one batched array operation.
+        Within each level the gates are split into free (XOR-class) and
+        non-free (garbled-table) groups, which is exactly the partition
+        the half-gates engine cares about.
+
+        The schedule is built once and cached — callers garbling many
+        copies of the same netlist (pre-garbled pools, cut-and-choose)
+        amortize the setup across all of them.
+        """
+        if self._level_schedule is None:
+            self._level_schedule = LevelSchedule.build(self)
+        return self._level_schedule
+
     # -- conveniences ----------------------------------------------------
 
     def input_assignment(
@@ -229,6 +261,192 @@ class Circuit:
             f"Circuit({self.name!r}, alice={self.n_alice}, bob={self.n_bob}, "
             f"outputs={len(self.outputs)}, xor={counts.xor}, "
             f"non_xor={counts.non_xor})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleLevel:
+    """One dependency level of a :class:`LevelSchedule`.
+
+    All arrays are NumPy index/flag vectors over the circuit's wires.
+    Free gates are described by ``free_a ^ free_b`` plus an optional
+    delta offset (``free_inv``: XNOR/NOT garble as an extra global-delta
+    XOR; the evaluator ignores the flag).  Unary gates (NOT/BUF) point
+    ``free_b`` at the schedule's scratch zero row so the whole free
+    group is a single gather-XOR-scatter.
+
+    Non-free gates carry their AND-reduction inversion flags
+    (``nf_ia/nf_ib/nf_io``) and their netlist-order table index
+    ``nf_tidx`` — the tweak of gate ``i`` is ``tweak_base + 2 * nf_tidx[i]``,
+    matching the scalar garbler's counter exactly so the two paths stay
+    bit-identical.
+
+    ``free_gates`` / ``nf_gates`` repeat the same data as plain Python
+    tuples: narrow levels (a handful of gates) are cheaper to process
+    gate-at-a-time than through array dispatch, so the hybrid engine
+    iterates these instead of paying NumPy overhead per tiny level.
+    """
+
+    free_a: Any
+    free_b: Any
+    free_out: Any
+    free_inv: Any
+    nf_a: Any
+    nf_b: Any
+    nf_out: Any
+    nf_tidx: Any
+    nf_ia: Any
+    nf_ib: Any
+    nf_io: Any
+    #: ((a, b, out, inv), ...) — ``b`` is the scratch wire for unary gates
+    free_gates: Tuple[Tuple[int, int, int, int], ...]
+    #: ((a, b, out, tidx, ia, ib, io), ...)
+    nf_gates: Tuple[Tuple[int, int, int, int, int, int, int], ...]
+    #: pre-reduced flag summaries so hot loops skip ndarray.any() calls
+    free_has_inv: bool
+    nf_has_ia: bool
+    nf_has_ib: bool
+    nf_has_io: bool
+    #: little-endian byte rows of the gates' a/b tweaks at tweak_base 0
+    #: ((m, 8) uint8) — the common case, precomputed once per schedule
+    tw0_a: Any
+    tw0_b: Any
+
+    @property
+    def n_free(self) -> int:
+        return int(self.free_out.size)
+
+    @property
+    def n_non_free(self) -> int:
+        return int(self.nf_out.size)
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelSchedule:
+    """Cached per-level gate arrays for the vectorized GC engine.
+
+    Attributes:
+        levels: dependency levels in execution order.
+        n_non_free: total garbled-table count (netlist non-XOR count).
+        scratch_wire: index of the extra all-zero label row the
+            vectorized engine appends after the real wires (unary free
+            gates read it as their second operand).
+        gate_outs: every gate output wire, for bulk defined-flag updates.
+    """
+
+    levels: Tuple[ScheduleLevel, ...]
+    n_non_free: int
+    n_wires: int
+    scratch_wire: int
+    gate_outs: Any
+
+    @classmethod
+    def build(cls, circuit: "Circuit") -> "LevelSchedule":
+        """Levelize ``circuit`` (validates topological order as it goes)."""
+        import numpy as np
+
+        n_wires = circuit.n_wires
+        scratch = n_wires
+        wire_level = [0] * n_wires
+        defined = bytearray(n_wires)
+        for wire in range(min(2 + circuit.n_inputs, n_wires)):
+            defined[wire] = 1
+        per_level: Dict[int, List[Tuple[int, Gate, int]]] = {}
+        table_index = 0
+        for idx, gate in enumerate(circuit.gates):
+            for src in gate.inputs():
+                if not 0 <= src < n_wires or not defined[src]:
+                    raise CircuitError(
+                        f"gate {idx} reads wire {src} before it is driven; "
+                        "netlist is not topologically ordered"
+                    )
+            if not 0 <= gate.out < n_wires:
+                raise CircuitError(f"gate {idx} drives out-of-range wire")
+            defined[gate.out] = 1
+            level = 1 + max(wire_level[w] for w in gate.inputs())
+            wire_level[gate.out] = level
+            tidx = -1
+            if not gate.op.is_free:
+                if gate.op not in AND_REDUCTION:
+                    raise CircuitError(
+                        f"gate {idx} ({gate.op}) has no AND reduction; "
+                        "cannot build a garbling schedule"
+                    )
+                tidx = table_index
+                table_index += 1
+            per_level.setdefault(level, []).append((idx, gate, tidx))
+
+        levels: List[ScheduleLevel] = []
+        for level in sorted(per_level):
+            free_a: List[int] = []
+            free_b: List[int] = []
+            free_out: List[int] = []
+            free_inv: List[int] = []
+            nf_a: List[int] = []
+            nf_b: List[int] = []
+            nf_out: List[int] = []
+            nf_tidx: List[int] = []
+            nf_ia: List[int] = []
+            nf_ib: List[int] = []
+            nf_io: List[int] = []
+            def _tw_rows(offset: int) -> Any:
+                tweaks = 2 * np.asarray(nf_tidx, dtype=np.int64) + offset
+                return tweaks.astype("<u8").view(np.uint8).reshape(-1, 8)
+
+            for _, gate, tidx in per_level[level]:
+                op = gate.op
+                if op.is_free:
+                    free_a.append(gate.a)
+                    free_b.append(scratch if gate.b is None else gate.b)
+                    free_out.append(gate.out)
+                    free_inv.append(
+                        1 if op in (GateType.XNOR, GateType.NOT) else 0
+                    )
+                else:
+                    inv = AND_REDUCTION[op]
+                    nf_a.append(gate.a)
+                    nf_b.append(gate.b)
+                    nf_out.append(gate.out)
+                    nf_tidx.append(tidx)
+                    nf_ia.append(inv.ia)
+                    nf_ib.append(inv.ib)
+                    nf_io.append(inv.out)
+            levels.append(
+                ScheduleLevel(
+                    free_a=np.asarray(free_a, dtype=np.intp),
+                    free_b=np.asarray(free_b, dtype=np.intp),
+                    free_out=np.asarray(free_out, dtype=np.intp),
+                    free_inv=np.asarray(free_inv, dtype=np.uint8),
+                    nf_a=np.asarray(nf_a, dtype=np.intp),
+                    nf_b=np.asarray(nf_b, dtype=np.intp),
+                    nf_out=np.asarray(nf_out, dtype=np.intp),
+                    nf_tidx=np.asarray(nf_tidx, dtype=np.int64),
+                    nf_ia=np.asarray(nf_ia, dtype=np.uint8),
+                    nf_ib=np.asarray(nf_ib, dtype=np.uint8),
+                    nf_io=np.asarray(nf_io, dtype=np.uint8),
+                    free_gates=tuple(
+                        zip(free_a, free_b, free_out, free_inv)
+                    ),
+                    nf_gates=tuple(
+                        zip(nf_a, nf_b, nf_out, nf_tidx, nf_ia, nf_ib, nf_io)
+                    ),
+                    free_has_inv=any(free_inv),
+                    nf_has_ia=any(nf_ia),
+                    nf_has_ib=any(nf_ib),
+                    nf_has_io=any(nf_io),
+                    tw0_a=_tw_rows(0),
+                    tw0_b=_tw_rows(1),
+                )
+            )
+        gate_outs = np.asarray(
+            [gate.out for gate in circuit.gates], dtype=np.intp
+        )
+        return cls(
+            levels=tuple(levels),
+            n_non_free=table_index,
+            n_wires=n_wires,
+            scratch_wire=scratch,
+            gate_outs=gate_outs,
         )
 
 

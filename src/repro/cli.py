@@ -124,7 +124,9 @@ _DEMO_SAMPLES = 400
 
 
 def _demo_service(backend: str = "two_party", activation: str = "exact",
-                  pool_size: int = 0, history_limit: int = 0, seed: int = 1):
+                  pool_size: int = 0, history_limit: int = 0, seed: int = 1,
+                  pool_refill: str = "opportunistic",
+                  vectorized: bool = True):
     """A small trained service for the live subcommands (fast OT group)."""
     import random
 
@@ -148,7 +150,9 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
         backend=backend,
         ot_group=TEST_GROUP_512,
         rng=random.Random(seed),
+        vectorized=vectorized,
         pool_size=pool_size,
+        pool_refill=pool_refill,
         history_limit=history_limit,
     )
     return PrivateInferenceService(model, config), x
@@ -192,13 +196,16 @@ def _cmd_serve(args) -> None:
                          "(demo dataset size)")
     pool_size = args.pool if args.pool is not None else args.requests
     service, x = _demo_service(
-        pool_size=pool_size, history_limit=args.requests
+        pool_size=pool_size, history_limit=args.requests,
+        pool_refill=args.refill, vectorized=not args.scalar,
     )
     pool = service.pool
     print(service.circuit_summary)
     if pool_size > 0:
         warmed = service.prepare()
-        print(f"offline phase: {warmed} circuits pre-garbled")
+        print(f"offline phase: {warmed} circuits pre-garbled "
+              f"(engine {'scalar' if args.scalar else 'vectorized'}, "
+              f"refill {args.refill})")
     else:
         print("offline phase: disabled (--pool 0, cold baseline)")
 
@@ -218,8 +225,14 @@ def _cmd_serve(args) -> None:
     print(f"online latency: mean {sum(online) / len(online):.2f} s | "
           f"max {max(online):.2f} s | pre-garbled {pooled}/{len(results)} "
           f"(pool hit rate {hit_rate})")
+    if pool is not None:
+        pstats = pool.stats()
+        print(f"pool: {pstats['size']}/{pstats['capacity']} ready | "
+              f"garbled {pstats['garbled_total']} total | "
+              f"refills {pstats['refills']} ({pstats['refill']})")
     print(f"labels: {labels} | cleartext agreement: "
           f"{'OK' if labels == expected else 'MISMATCH'}")
+    service.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -281,6 +294,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pool", type=int, default=None,
                        help="pre-garbled pool size (default: = requests; "
                             "0 disables pooling for a cold baseline)")
+    serve.add_argument("--refill", default="opportunistic",
+                       choices=("none", "opportunistic", "background"),
+                       help="pool refill policy once the warm material "
+                            "drains (default: opportunistic)")
+    serve.add_argument("--scalar", action="store_true",
+                       help="use the gate-at-a-time reference engine "
+                            "instead of the vectorized one")
     serve.set_defaults(func=_cmd_serve)
     return parser
 

@@ -29,6 +29,7 @@ from ..errors import EngineError
 from ..gc.cipher import HashKDF
 from ..gc.cutandchoose import CutAndChooseGarbler, verify_opened_copy
 from ..gc.evaluate import Evaluator
+from ..gc.fastgarble import FastEvaluator
 from ..gc.ot import MODP_2048, OTGroup
 from ..gc.outsourcing import OutsourcedSession
 from ..gc.protocol import TwoPartySession, transfer_input_labels
@@ -62,6 +63,8 @@ class Backend:
         kdf: garbling oracle shared by both parties.
         ot_group: group for base OTs.
         rng: randomness source for labels and OT.
+        vectorized: run the level-scheduled NumPy garbling engine where
+            the flow supports it (bit-exact with the scalar path).
     """
 
     #: Registry key, set by :func:`register_backend`.
@@ -72,10 +75,12 @@ class Backend:
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
         rng=secrets,
+        vectorized: bool = True,
     ) -> None:
         self.kdf = kdf
         self.ot_group = ot_group
         self.rng = rng
+        self.vectorized = vectorized
 
     def run(
         self,
@@ -162,9 +167,12 @@ class TwoPartyBackend(Backend):
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
         rng=secrets,
+        vectorized: bool = True,
         pool: Optional[PregarbledPool] = None,
     ) -> None:
-        super().__init__(kdf=kdf, ot_group=ot_group, rng=rng)
+        super().__init__(
+            kdf=kdf, ot_group=ot_group, rng=rng, vectorized=vectorized
+        )
         if pool is not None and not isinstance(pool, PregarbledPool):
             raise EngineError("pool must be a PregarbledPool (or None)")
         self.pool = pool
@@ -186,7 +194,8 @@ class TwoPartyBackend(Backend):
         if self.pool is not None and self.pool.circuit is circuit:
             pregarbled = self.pool.acquire()
         session = TwoPartySession(
-            circuit, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng
+            circuit, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng,
+            vectorized=self.vectorized,
         )
         result = session.run(client_bits, server_bits, pregarbled=pregarbled)
         metadata: Dict[str, object] = {"pregarbled": pregarbled is not None}
@@ -279,9 +288,12 @@ class CutAndChooseBackend(Backend):
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
         rng=secrets,
+        vectorized: bool = True,
         copies: int = 3,
     ) -> None:
-        super().__init__(kdf=kdf, ot_group=ot_group, rng=rng)
+        super().__init__(
+            kdf=kdf, ot_group=ot_group, rng=rng, vectorized=vectorized
+        )
         self.copies = copies
 
     def _choose_surviving(self) -> int:
@@ -302,7 +314,8 @@ class CutAndChooseBackend(Backend):
         else:
             seed_rng = random.Random(secrets.randbits(128))
         cnc = CutAndChooseGarbler(
-            circuit, copies=self.copies, kdf=self.kdf, rng=seed_rng
+            circuit, copies=self.copies, kdf=self.kdf, rng=seed_rng,
+            vectorized=self.vectorized,
         )
         commitments = cnc.commitments()
         tables = cnc.tables()
@@ -319,6 +332,7 @@ class CutAndChooseBackend(Backend):
                 commitments[opened.index],
                 tables[opened.index],
                 kdf=self.kdf,
+                vectorized=self.vectorized,
             ):
                 raise EngineError(
                     f"cut-and-choose: copy {opened.index} failed verification"
@@ -338,7 +352,8 @@ class CutAndChooseBackend(Backend):
         alice_labels = garbler.input_labels_for(
             list(circuit.alice_inputs), list(client_bits)
         )
-        evaluator = Evaluator(circuit, kdf=cnc.kdf)
+        evaluator_cls = FastEvaluator if self.vectorized else Evaluator
+        evaluator = evaluator_cls(circuit, kdf=cnc.kdf)
         wire_labels = evaluator.evaluate(
             cnc.garbled[surviving], alice_labels, bob_labels
         )

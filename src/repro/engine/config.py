@@ -45,8 +45,15 @@ class EngineConfig:
         ot_group: group for base OTs (production default MODP-2048).
         rng: randomness source (``secrets``, or a seeded
             ``random.Random`` for reproducible runs).
+        vectorized: drive the level-scheduled NumPy garbling engine
+            (default; bit-exact with the scalar path — disable only to
+            compare against the gate-at-a-time reference).
         pool_size: pre-garbled circuit copies to keep ready (two-party
             backend only; 0 disables the offline/online split).
+        pool_refill: how the pool recovers once drained — ``"none"``
+            (operator-managed warming only), ``"opportunistic"``
+            (default: every acquire kicks one off-thread ``warm(1)``) or
+            ``"background"`` (daemon thread keeps the pool at capacity).
         history_limit: cap on retained inference records; 0 (default)
             disables history entirely — recording is opt-in so sustained
             traffic cannot grow memory without bound.
@@ -61,11 +68,14 @@ class EngineConfig:
     kdf: Optional[HashKDF] = None
     ot_group: OTGroup = MODP_2048
     rng: Any = secrets
+    vectorized: bool = True
     pool_size: int = 0
+    pool_refill: str = "opportunistic"
     history_limit: int = 0
 
     def __post_init__(self) -> None:
         from .backends import available_backends
+        from .pool import REFILL_POLICIES
 
         if self.activation not in ACTIVATION_VARIANTS:
             raise EngineError(
@@ -83,6 +93,11 @@ class EngineConfig:
             )
         if self.pool_size < 0:
             raise EngineError("pool_size must be >= 0")
+        if self.pool_refill not in REFILL_POLICIES:
+            raise EngineError(
+                f"unknown pool_refill {self.pool_refill!r}; "
+                f"choose from {', '.join(REFILL_POLICIES)}"
+            )
         if self.history_limit < 0:
             raise EngineError("history_limit must be >= 0")
 

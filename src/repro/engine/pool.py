@@ -6,7 +6,16 @@ and answers each request with material popped from a pool.  The online
 critical path then contains only transfer + OT + evaluate + merge.
 
 The pool is thread-safe: :class:`repro.service.PrivateInferenceService`
-drains it from a thread pool under concurrent load.
+drains it from a thread pool under concurrent load.  Refill policies
+keep it from going permanently cold once the initial ``warm()`` material
+is drained (the PR 1 pool never refilled — every request after the
+first burst was a cold miss forever):
+
+* ``refill="none"`` — the caller owns warming (PR 1 behavior).
+* ``refill="opportunistic"`` — each ``acquire()`` kicks off one
+  off-thread ``warm(1)``, so sustained traffic keeps finding material.
+* ``refill="background"`` — a daemon thread tops the pool up to
+  capacity whenever it drops below the low watermark.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ from __future__ import annotations
 import secrets
 import threading
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional
 
 from ..circuits.netlist import Circuit
 from ..errors import EngineError
@@ -22,7 +31,10 @@ from ..gc.cipher import HashKDF
 from ..gc.ot import MODP_2048, OTGroup
 from ..gc.protocol import Pregarbled, TwoPartySession
 
-__all__ = ["PregarbledPool"]
+__all__ = ["PregarbledPool", "REFILL_POLICIES"]
+
+#: Valid ``refill`` arguments.
+REFILL_POLICIES = ("none", "opportunistic", "background")
 
 
 class PregarbledPool:
@@ -37,6 +49,14 @@ class PregarbledPool:
         ot_group: recorded so pooled and cold runs use the same session
             parameters.
         rng: label randomness source.
+        vectorized: garble through the level-scheduled NumPy engine
+            (default; ``warm`` batches all copies through one schedule
+            pass via :meth:`TwoPartySession.pregarble_many`).
+        refill: refill policy (see module docstring).  ``"background"``
+            starts its daemon thread immediately, so the pool self-warms
+            without an explicit ``warm()`` call.
+        low_watermark: background mode refills whenever the pool drops
+            below this level (default: the full capacity).
     """
 
     def __init__(
@@ -46,23 +66,51 @@ class PregarbledPool:
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
         rng=secrets,
+        vectorized: bool = True,
+        refill: str = "none",
+        low_watermark: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise EngineError("pool capacity must be positive")
+        if refill not in REFILL_POLICIES:
+            raise EngineError(
+                f"unknown refill policy {refill!r}; "
+                f"choose from {', '.join(REFILL_POLICIES)}"
+            )
+        if low_watermark is not None and low_watermark < 1:
+            raise EngineError("low_watermark must be >= 1")
         self.circuit = circuit
         self.capacity = capacity
+        self.refill = refill
+        self.low_watermark = low_watermark
         self._session = TwoPartySession(
-            circuit, kdf=kdf, ot_group=ot_group, rng=rng
+            circuit, kdf=kdf, ot_group=ot_group, rng=rng,
+            vectorized=vectorized,
         )
         self._items: Deque[Pregarbled] = deque()
         self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
         self._pending = 0
+        self._stop = False
+        self._opportunistic_inflight = False
+        self._refill_thread: Optional[threading.Thread] = None
         self.garbled_total = 0
+        self.refills = 0
         self.hits = 0
         self.misses = 0
+        self.last_refill_error: Optional[str] = None
+        if refill == "background":
+            self._refill_thread = threading.Thread(
+                target=self._refill_loop,
+                name="pregarble-refill",
+                daemon=True,
+            )
+            self._refill_thread.start()
 
     def __len__(self) -> int:
         return len(self._items)
+
+    # -- offline phase ----------------------------------------------------
 
     def warm(self, count: Optional[int] = None) -> int:
         """Garble up to ``count`` copies (default: fill to capacity).
@@ -70,43 +118,137 @@ class PregarbledPool:
         This is the offline phase: run it while the service is idle.
         Slots are reserved under the lock before the (expensive)
         garbling starts, so concurrent ``warm()`` calls split the
-        remaining room instead of duplicating work.  Returns the number
-        of copies actually garbled by this call.
+        remaining room instead of duplicating work; the reserved batch
+        is then garbled in one vectorized ``pregarble_many`` pass.
+        Returns the number of copies actually garbled by this call.
         """
         added = 0
         while count is None or added < count:
             with self._lock:
-                if len(self._items) + self._pending >= self.capacity:
+                room = self.capacity - len(self._items) - self._pending
+                if room <= 0:
                     break
-                self._pending += 1
-            item = None
+                batch = room if count is None else min(room, count - added)
+                self._pending += batch
+            items = []
             try:
-                item = self._session.pregarble()
+                items = self._session.pregarble_many(batch)
             finally:
                 with self._lock:
-                    self._pending -= 1
-                    if item is not None:
-                        self._items.append(item)
-                        self.garbled_total += 1
-            added += 1
+                    self._pending -= batch
+                    self._items.extend(items)
+                    self.garbled_total += len(items)
+            added += len(items)
+            if len(items) < batch:  # pregarble failed partway; don't spin
+                break
         return added
+
+    # -- online phase -----------------------------------------------------
 
     def acquire(self) -> Optional[Pregarbled]:
         """Pop one pre-garbled copy, or None when the pool ran dry.
 
         A None return means the caller pays the cold garbling cost
         inline — the pool records the miss so operators can size
-        ``capacity`` from the hit rate.
+        ``capacity`` from the hit rate.  Under an ``"opportunistic"`` or
+        ``"background"`` policy, every acquisition also triggers an
+        off-thread refill so the pool recovers from drains instead of
+        serving cold misses forever.
         """
         with self._lock:
             if self._items:
                 self.hits += 1
-                return self._items.popleft()
-            self.misses += 1
-            return None
+                item = self._items.popleft()
+            else:
+                self.misses += 1
+                item = None
+            if self.refill == "background":
+                self._cond.notify()
+        if self.refill == "opportunistic":
+            self._spawn_opportunistic_refill()
+        return item
 
     @property
     def hit_rate(self) -> float:
         """Fraction of acquisitions served from pre-garbled material."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """Operator-facing snapshot (consistent under the pool lock)."""
+        with self._lock:
+            return {
+                "size": len(self._items),
+                "capacity": self.capacity,
+                "pending": self._pending,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+                "garbled_total": self.garbled_total,
+                "refills": self.refills,
+                "refill": self.refill,
+            }
+
+    def close(self) -> None:
+        """Stop the background refill thread (idempotent)."""
+        with self._lock:
+            self._stop = True
+            self._cond.notify_all()
+        if self._refill_thread is not None:
+            self._refill_thread.join(timeout=5.0)
+            self._refill_thread = None
+
+    # -- refill machinery -------------------------------------------------
+
+    def _needs_refill(self) -> bool:
+        """Caller must hold the lock."""
+        watermark = (
+            self.capacity if self.low_watermark is None
+            else min(self.low_watermark, self.capacity)
+        )
+        return len(self._items) + self._pending < watermark
+
+    def _spawn_opportunistic_refill(self) -> None:
+        """One off-thread ``warm(1)`` per drain, never stacking workers."""
+        with self._lock:
+            if (
+                self._stop
+                or self._opportunistic_inflight
+                or not self._needs_refill()
+            ):
+                return
+            self._opportunistic_inflight = True
+
+        def work() -> None:
+            try:
+                if self.warm(1):
+                    with self._lock:
+                        self.refills += 1
+            except Exception as exc:  # keep serving; surface via stats
+                self.last_refill_error = repr(exc)
+            finally:
+                with self._lock:
+                    self._opportunistic_inflight = False
+
+        threading.Thread(
+            target=work, name="pregarble-refill-once", daemon=True
+        ).start()
+
+    def _refill_loop(self) -> None:
+        """Background policy: top up to capacity whenever below watermark."""
+        while True:
+            with self._cond:
+                while not self._stop and not self._needs_refill():
+                    self._cond.wait(timeout=0.5)
+                if self._stop:
+                    return
+            try:
+                if self.warm():
+                    with self._lock:
+                        self.refills += 1
+            except Exception as exc:  # keep the thread alive
+                self.last_refill_error = repr(exc)
+                with self._cond:
+                    if self._stop:
+                        return
+                    self._cond.wait(timeout=0.5)

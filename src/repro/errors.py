@@ -49,3 +49,22 @@ class PreprocessError(ReproError):
 
 class EngineError(ReproError):
     """Raised by the unified execution engine (bad backend, bad options)."""
+
+
+class BatchInferenceError(EngineError):
+    """Raised after a concurrent batch finishes with per-request failures.
+
+    Unlike a bare exception from one request, this carries everything
+    the batch *did* complete, so one bad sample cannot discard its
+    neighbours' results.
+
+    Attributes:
+        results: per-request outcomes in request order (``None`` at the
+            failed positions).
+        errors: ``[(request_index, exception), ...]`` for the failures.
+    """
+
+    def __init__(self, message: str, results, errors) -> None:
+        super().__init__(message)
+        self.results = results
+        self.errors = errors

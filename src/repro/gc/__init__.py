@@ -9,8 +9,9 @@ from .channel import Channel, ChannelStats, make_channel_pair
 from .cutandchoose import CutAndChooseGarbler, OpenedCopy, verify_opened_copy
 from .cipher import LABEL_BITS, FixedKeyAES, HashKDF, default_kdf
 from .evaluate import Evaluator
+from .fastgarble import FastEvaluator, FastGarbler, LabelPlane, garble_many
 from .garble import GarbledCircuit, GarbledGate, Garbler
-from .labels import LabelStore, permute_bit, random_delta, random_label
+from .labels import ArrayLabelStore, LabelStore, permute_bit, random_delta, random_label
 from .ot import MODP_2048, TEST_GROUP_512, OTGroup, OTReceiver, OTSender, run_ot_batch
 from .ot_extension import extension_ot
 from .outsourcing import OutsourcedSession, outsource_circuit, split_input
@@ -26,10 +27,15 @@ from .sequential import SequentialResult, SequentialSession
 
 __all__ = [
     "Garbler",
+    "FastGarbler",
     "Evaluator",
+    "FastEvaluator",
+    "garble_many",
+    "LabelPlane",
     "GarbledCircuit",
     "GarbledGate",
     "LabelStore",
+    "ArrayLabelStore",
     "random_label",
     "random_delta",
     "permute_bit",

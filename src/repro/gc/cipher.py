@@ -19,10 +19,33 @@ from __future__ import annotations
 import hashlib
 from typing import List
 
+import numpy as np
+
 __all__ = ["LABEL_BITS", "LABEL_MASK", "HashKDF", "FixedKeyAES", "default_kdf"]
 
 LABEL_BITS = 128
 LABEL_MASK = (1 << LABEL_BITS) - 1
+
+#: Bytes per KDF input row: 16-byte label || 8-byte tweak (little-endian).
+ROW_BYTES = 24
+
+
+def _hash_many_fallback(kdf, rows: "np.ndarray") -> "np.ndarray":
+    """Row-by-row :meth:`hash` over a stacked ``(n, 24)`` uint8 buffer.
+
+    Generic bridge for oracles without a native batch path (e.g. the
+    pure-Python AES backend, or custom KDFs that only define ``hash``);
+    bit-identical to calling ``hash`` per gate.
+    """
+    buf = rows.tobytes()
+    out = bytearray(len(buf) // ROW_BYTES * 16)
+    pos = 0
+    for i in range(0, len(buf), ROW_BYTES):
+        label = int.from_bytes(buf[i : i + 16], "little")
+        tweak = int.from_bytes(buf[i + 16 : i + ROW_BYTES], "little")
+        out[pos : pos + 16] = kdf.hash(label, tweak).to_bytes(16, "little")
+        pos += 16
+    return np.frombuffer(bytes(out), dtype=np.uint8).reshape(-1, 16)
 
 
 class HashKDF:
@@ -38,6 +61,35 @@ class HashKDF:
         """Derive a 128-bit mask from a wire label and a gate tweak."""
         data = label.to_bytes(16, "little") + tweak.to_bytes(8, "little")
         return int.from_bytes(hashlib.sha256(data).digest()[:16], "little")
+
+    def hash_many(self, rows: "np.ndarray") -> "np.ndarray":
+        """Batched oracle over stacked ``label || tweak`` rows.
+
+        Args:
+            rows: ``(n, 24)`` uint8 array, each row the 16 little-endian
+                label bytes followed by the 8 little-endian tweak bytes.
+
+        Returns:
+            ``(n, 16)`` uint8 masks, row-for-row identical to
+            :meth:`hash` on the same (label, tweak) pairs.  One
+            contiguous buffer in, one out: the per-gate int<->bytes
+            conversions of the scalar path disappear, which is where the
+            level-scheduled engine gets its KDF throughput.
+        """
+        if type(self).hash is not HashKDF.hash:
+            # a subclass overrode the oracle but not the batch path:
+            # route through its hash() so the two stay consistent (the
+            # hybrid engine mixes batched and per-gate calls)
+            return _hash_many_fallback(self, rows)
+        buf = memoryview(rows.tobytes())
+        sha = hashlib.sha256
+        digests = b"".join(
+            [sha(buf[i : i + ROW_BYTES]).digest()
+             for i in range(0, len(buf), ROW_BYTES)]
+        )
+        # keep the full 32-byte digests contiguous and let NumPy view the
+        # first 16 bytes of each — one slice instead of one per row
+        return np.frombuffer(digests, dtype=np.uint8).reshape(-1, 32)[:, :16]
 
 
 # ---------------------------------------------------------------------------
@@ -156,6 +208,10 @@ class FixedKeyAES:
         block = k.to_bytes(16, "little")
         cipher = self.encrypt_block(block)
         return int.from_bytes(cipher, "little") ^ k
+
+    def hash_many(self, rows: "np.ndarray") -> "np.ndarray":
+        """Batched oracle (row-by-row; pure-Python AES has no fast path)."""
+        return _hash_many_fallback(self, rows)
 
 
 def default_kdf() -> HashKDF:

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..circuits.netlist import Circuit
 from ..errors import GarblingError
 from .cipher import HashKDF, default_kdf
+from .fastgarble import garble_many
 from .garble import GarbledCircuit, Garbler
 
 __all__ = ["OpenedCopy", "CutAndChooseGarbler", "verify_opened_copy"]
@@ -37,10 +38,17 @@ def _commit(seed: int) -> bytes:
 
 
 def _garble_from_seed(
-    circuit: Circuit, seed: int, kdf: HashKDF
+    circuit: Circuit, seed: int, kdf: HashKDF, vectorized: bool = True
 ) -> Tuple[Garbler, GarbledCircuit]:
-    """Deterministic garbling: all labels derive from the seed."""
-    garbler = Garbler(circuit, kdf=kdf, rng=random.Random(seed))
+    """Deterministic garbling: all labels derive from the seed.
+
+    The scalar and vectorized engines draw the identical label stream
+    from the seed, so a copy garbled on either path re-verifies on the
+    other.
+    """
+    garbler = Garbler(
+        circuit, kdf=kdf, rng=random.Random(seed), vectorized=vectorized
+    )
     return garbler, garbler.garble()
 
 
@@ -60,6 +68,9 @@ class CutAndChooseGarbler:
         copies: number of independent garblings ``k``.
         kdf: garbling oracle.
         rng: seed source (``random.Random`` for reproducible tests).
+        vectorized: batch-garble all copies through
+            :func:`repro.gc.fastgarble.garble_many` (one level-schedule
+            pass for the whole stack) instead of ``k`` scalar walks.
     """
 
     def __init__(
@@ -68,6 +79,7 @@ class CutAndChooseGarbler:
         copies: int = 4,
         kdf: Optional[HashKDF] = None,
         rng=None,
+        vectorized: bool = True,
     ) -> None:
         if copies < 2:
             raise GarblingError("cut-and-choose needs at least 2 copies")
@@ -77,10 +89,22 @@ class CutAndChooseGarbler:
         self.seeds = [rng.getrandbits(128) for _ in range(copies)]
         self.garblers: List[Garbler] = []
         self.garbled: List[GarbledCircuit] = []
-        for seed in self.seeds:
-            garbler, garbled = _garble_from_seed(self.circuit, seed, self.kdf)
-            self.garblers.append(garbler)
-            self.garbled.append(garbled)
+        if vectorized:
+            pairs = garble_many(
+                self.circuit,
+                kdf=self.kdf,
+                rngs=[random.Random(seed) for seed in self.seeds],
+            )
+            for garbler, garbled in pairs:
+                self.garblers.append(garbler)
+                self.garbled.append(garbled)
+        else:
+            for seed in self.seeds:
+                garbler, garbled = _garble_from_seed(
+                    self.circuit, seed, self.kdf, vectorized=False
+                )
+                self.garblers.append(garbler)
+                self.garbled.append(garbled)
 
     @property
     def copies(self) -> int:
@@ -115,14 +139,19 @@ def verify_opened_copy(
     commitment: bytes,
     claimed_tables: bytes,
     kdf: Optional[HashKDF] = None,
+    vectorized: bool = True,
 ) -> bool:
     """Evaluator-side check of an opened copy.
 
     Re-derives the commitment and re-garbles deterministically from the
     revealed seed; the claimed tables must match ciphertext-for-
     ciphertext.  Returns False on any mismatch (a cheating garbler).
+    Seed-determinism holds across engines, so the verifier's
+    ``vectorized`` choice is independent of the garbler's.
     """
     if _commit(opened.seed) != commitment:
         return False
-    _, regarbled = _garble_from_seed(circuit, opened.seed, kdf or default_kdf())
+    _, regarbled = _garble_from_seed(
+        circuit, opened.seed, kdf or default_kdf(), vectorized=vectorized
+    )
     return regarbled.tables_bytes() == claimed_tables

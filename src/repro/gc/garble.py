@@ -20,15 +20,16 @@ from __future__ import annotations
 
 import dataclasses
 import secrets
+from collections.abc import Sequence as SequenceABC
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.gates import AND_REDUCTION, GateType
 from ..circuits.netlist import CONST_ONE, CONST_ZERO, Circuit
 from ..errors import GarblingError
 from .cipher import HashKDF, default_kdf
-from .labels import LabelStore, permute_bit
+from .labels import ArrayLabelStore, LabelStore, permute_bit
 
-__all__ = ["GarbledGate", "GarbledCircuit", "Garbler"]
+__all__ = ["GarbledGate", "GarbledCircuit", "Garbler", "LazyTables"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,6 +54,36 @@ class GarbledGate:
         )
 
 
+class LazyTables(SequenceABC):
+    """List-of-:class:`GarbledGate` view over an ``(n, 32)`` uint8 plane.
+
+    The vectorized garbler produces its ciphertexts as one contiguous
+    byte plane; this adapter keeps the :class:`GarbledCircuit.tables`
+    contract (len / iteration / indexing yield ``GarbledGate``) without
+    eagerly converting every row back to Python ints — conversion only
+    happens for rows a scalar consumer actually touches.
+    """
+
+    __slots__ = ("plane",)
+
+    def __init__(self, plane) -> None:
+        if plane.ndim != 2 or plane.shape[1] != 32:
+            raise GarblingError("table plane must be (n, 32) bytes")
+        self.plane = plane
+
+    def __len__(self) -> int:
+        return len(self.plane)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        row = self.plane[index]
+        return GarbledGate(
+            int.from_bytes(row[:16].tobytes(), "little"),
+            int.from_bytes(row[16:].tobytes(), "little"),
+        )
+
+
 @dataclasses.dataclass
 class GarbledCircuit:
     """Everything the evaluator needs (plus the garbler's private state).
@@ -65,15 +96,21 @@ class GarbledCircuit:
             garbler keeps them and decodes after the merge step.
         tweak_base: first tweak index used (sequential garbling advances
             it every cycle so hashes never repeat across cycles).
+        tables_plane: optional ``(n, 32)`` uint8 view of the same tables
+            (row = tg || te, little-endian), populated by the vectorized
+            garbler so the fast evaluator never re-parses ciphertexts.
     """
 
-    tables: List[GarbledGate]
+    tables: Sequence[GarbledGate]
     const_labels: Tuple[int, int]
     decode_bits: List[int]
     tweak_base: int = 0
+    tables_plane: Optional[object] = None
 
     def tables_bytes(self) -> bytes:
         """Wire format of all garbled tables (32 bytes per non-free gate)."""
+        if self.tables_plane is not None:
+            return self.tables_plane.tobytes()
         return b"".join(t.to_bytes() for t in self.tables)
 
     @property
@@ -89,9 +126,16 @@ class Garbler:
         circuit: netlist to garble.
         kdf: garbling oracle (default SHA-256 backend).
         label_store: reuse an existing store — required across cycles of
-            a sequential circuit so register labels carry over.
+            a sequential circuit so register labels carry over.  Passing
+            an :class:`ArrayLabelStore` selects the vectorized engine;
+            passing a scalar :class:`LabelStore` forces the scalar path
+            regardless of ``vectorized``.
         rng: randomness source (``secrets`` by default; tests may pass a
             seeded ``random.Random`` for reproducibility).
+        vectorized: run the level-scheduled NumPy engine instead of the
+            gate-at-a-time loop.  Bit-exact with the scalar path: given
+            the same rng stream both produce identical labels, tables
+            and decode bits.
     """
 
     def __init__(
@@ -100,10 +144,18 @@ class Garbler:
         kdf: Optional[HashKDF] = None,
         label_store: Optional[LabelStore] = None,
         rng=secrets,
+        vectorized: bool = False,
     ) -> None:
         self.circuit = circuit
         self.kdf = kdf or default_kdf()
-        self.labels = label_store or LabelStore(rng=rng)
+        if label_store is None:
+            label_store = (
+                ArrayLabelStore(circuit.n_wires, rng=rng)
+                if vectorized
+                else LabelStore(rng=rng)
+            )
+        self.labels = label_store
+        self.vectorized = isinstance(label_store, ArrayLabelStore)
         self._rng = rng
 
     def garble(
@@ -120,6 +172,16 @@ class Garbler:
             tweak_base: starting tweak; callers garbling multiple cycles
                 must advance it (e.g. by ``2 * len(tables)`` per cycle).
         """
+        if self.vectorized:
+            from .fastgarble import garble_copies
+
+            return garble_copies(
+                self.circuit,
+                self.kdf,
+                [self.labels],
+                state_zero_labels=state_zero_labels,
+                tweak_base=tweak_base,
+            )[0]
         circuit = self.circuit
         labels = self.labels
         # constants + inputs

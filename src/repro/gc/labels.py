@@ -12,6 +12,8 @@ from __future__ import annotations
 import secrets
 from typing import Dict, Iterable, List
 
+import numpy as np
+
 from ..errors import GarblingError
 from .cipher import LABEL_MASK
 from .rng import rand_bits
@@ -21,6 +23,7 @@ __all__ = [
     "random_delta",
     "permute_bit",
     "LabelStore",
+    "ArrayLabelStore",
 ]
 
 
@@ -98,3 +101,95 @@ class LabelStore:
     def output_decode_map(self, wires: Iterable[int]) -> List[int]:
         """Point-and-permute decode bits (LSB of each zero-label)."""
         return [self.zero(w) & 1 for w in wires]
+
+
+def _label_row(label: int) -> np.ndarray:
+    """One 128-bit label as a 16-byte little-endian uint8 row."""
+    return np.frombuffer(label.to_bytes(16, "little"), dtype=np.uint8)
+
+
+class ArrayLabelStore:
+    """Zero-labels for every wire as one ``(n_wires + 1, 16)`` uint8 plane.
+
+    The vectorized garbling engine's label storage: row ``w`` holds wire
+    ``w``'s zero-label in little-endian byte order (so byte 0 bit 0 is
+    the point-and-permute bit, matching ``label & 1`` on the int form).
+    The extra final row is a scratch all-zero label that unary free
+    gates read as their second operand — it is never written.
+
+    The per-wire API mirrors :class:`LabelStore` exactly (``zero`` /
+    ``one`` / ``select`` / ``decode_bit`` / ...), so a
+    :class:`repro.gc.garble.Garbler` holding either store behaves
+    identically; labels drawn through :meth:`assign_fresh` consume the
+    rng stream in the same order and produce the same values as the
+    scalar store.
+    """
+
+    def __init__(self, n_wires: int, delta: int = None, rng=secrets) -> None:
+        if n_wires < 2:
+            raise GarblingError("label plane needs at least the const wires")
+        self.delta = delta if delta is not None else random_delta(rng)
+        if not self.delta & 1:
+            raise GarblingError("delta must have LSB 1 (point-and-permute)")
+        self.n_wires = n_wires
+        #: (n_wires + 1, 16) uint8; the final row is the scratch zero row
+        self.plane = np.zeros((n_wires + 1, 16), dtype=np.uint8)
+        #: (16,) uint8 broadcast form of the global delta
+        self.delta_row = _label_row(self.delta).copy()
+        self._defined = np.zeros(n_wires + 1, dtype=bool)
+        self._rng = rng
+
+    # -- LabelStore-compatible per-wire API ------------------------------
+
+    def assign_fresh(self, wire: int) -> int:
+        """Draw and store a fresh zero-label for ``wire``."""
+        label = random_label(self._rng)
+        self.set_zero(wire, label)
+        return label
+
+    def set_zero(self, wire: int, label: int) -> None:
+        """Store a caller-provided zero-label (sequential state carry)."""
+        if not 0 <= wire < self.n_wires:
+            raise GarblingError(f"wire {wire} out of range")
+        self.plane[wire] = _label_row(label & LABEL_MASK)
+        self._defined[wire] = True
+
+    def zero(self, wire: int) -> int:
+        """Zero-label of ``wire``."""
+        if not (0 <= wire < self.n_wires and self._defined[wire]):
+            raise GarblingError(f"wire {wire} has no label yet")
+        return int.from_bytes(self.plane[wire].tobytes(), "little")
+
+    def one(self, wire: int) -> int:
+        """One-label of ``wire`` (zero-label XOR delta)."""
+        return self.zero(wire) ^ self.delta
+
+    def select(self, wire: int, bit: int) -> int:
+        """Label encoding plaintext ``bit`` on ``wire``."""
+        return self.zero(wire) ^ (self.delta if bit & 1 else 0)
+
+    def decode_bit(self, wire: int, label: int) -> int:
+        """Recover the plaintext bit from a label of ``wire``.
+
+        Raises:
+            GarblingError: if the label is neither of the wire's labels.
+        """
+        if label == self.zero(wire):
+            return 0
+        if label == self.one(wire):
+            return 1
+        raise GarblingError(f"label does not belong to wire {wire}")
+
+    def decode_bits(self, wires: Iterable[int], labels: Iterable[int]) -> List[int]:
+        """Vector :meth:`decode_bit` in wire order."""
+        return [self.decode_bit(w, l) for w, l in zip(wires, labels)]
+
+    def output_decode_map(self, wires: Iterable[int]) -> List[int]:
+        """Point-and-permute decode bits (LSB of each zero-label)."""
+        return [int(self.plane[w, 0]) & 1 for w in wires]
+
+    # -- array-native extensions -----------------------------------------
+
+    def mark_defined(self, wires: np.ndarray) -> None:
+        """Bulk defined-flag update after a vectorized scatter."""
+        self._defined[wires] = True

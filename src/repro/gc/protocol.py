@@ -17,12 +17,15 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..circuits.netlist import Circuit
 from ..errors import ProtocolError
 from .channel import ChannelStats, make_channel_pair
 from .cipher import HashKDF, default_kdf
 from .evaluate import Evaluator
-from .garble import GarbledCircuit, Garbler
+from .fastgarble import FastEvaluator, garble_many
+from .garble import GarbledCircuit, Garbler, LazyTables
 from .ot import MODP_2048, OTGroup
 from .ot_extension import extension_ot
 
@@ -124,6 +127,8 @@ class TwoPartySession:
         kdf: garbling oracle shared by both parties.
         ot_group: group for base OTs.
         rng: randomness source for labels and OT.
+        vectorized: drive the level-scheduled NumPy engine for garbling
+            and evaluation (default; bit-exact with the scalar path).
     """
 
     def __init__(
@@ -132,6 +137,7 @@ class TwoPartySession:
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
         rng=secrets,
+        vectorized: bool = True,
     ) -> None:
         if circuit.n_state:
             raise ProtocolError(
@@ -142,6 +148,7 @@ class TwoPartySession:
         self.kdf = kdf or default_kdf()
         self.ot_group = ot_group
         self.rng = rng
+        self.vectorized = bool(vectorized)
 
     def pregarble(self) -> Pregarbled:
         """Run the input-independent garbling phase ahead of time.
@@ -151,7 +158,10 @@ class TwoPartySession:
         critical path (the offline/online split of Sec. 3).
         """
         start = time.perf_counter()
-        garbler = Garbler(self.circuit, kdf=self.kdf, rng=self.rng)
+        garbler = Garbler(
+            self.circuit, kdf=self.kdf, rng=self.rng,
+            vectorized=self.vectorized,
+        )
         garbled = garbler.garble()
         return Pregarbled(
             circuit=self.circuit,
@@ -159,6 +169,38 @@ class TwoPartySession:
             garbled=garbled,
             garble_seconds=time.perf_counter() - start,
         )
+
+    def pregarble_many(self, count: int) -> List[Pregarbled]:
+        """Batch offline phase: ``count`` single-use copies in one pass.
+
+        On the vectorized engine all copies share one walk of the level
+        schedule (and one KDF batch per level), so warming a pool of
+        ``k`` copies costs much less than ``k`` :meth:`pregarble` calls.
+        """
+        if count < 0:
+            raise ProtocolError("copy count must be >= 0")
+        if count == 0:
+            return []
+        start = time.perf_counter()
+        if self.vectorized:
+            copies = garble_many(
+                self.circuit, count, kdf=self.kdf, rng=self.rng
+            )
+        else:
+            copies = []
+            for _ in range(count):
+                garbler = Garbler(self.circuit, kdf=self.kdf, rng=self.rng)
+                copies.append((garbler, garbler.garble()))
+        per_copy = (time.perf_counter() - start) / count
+        return [
+            Pregarbled(
+                circuit=self.circuit,
+                garbler=garbler,
+                garbled=garbled,
+                garble_seconds=per_copy,
+            )
+            for garbler, garbled in copies
+        ]
 
     def run(
         self,
@@ -190,7 +232,10 @@ class TwoPartySession:
             pregarbled.claim()
             garbler, garbled = pregarbled.garbler, pregarbled.garbled
         else:
-            garbler = Garbler(circuit, kdf=self.kdf, rng=self.rng)
+            garbler = Garbler(
+                circuit, kdf=self.kdf, rng=self.rng,
+                vectorized=self.vectorized,
+            )
             garbled = garbler.garble()
         times["garble"] = time.perf_counter() - start
 
@@ -217,7 +262,8 @@ class TwoPartySession:
 
         # (iii) evaluation — Bob
         start = time.perf_counter()
-        evaluator = Evaluator(circuit, kdf=garbler.kdf)
+        evaluator_cls = FastEvaluator if self.vectorized else Evaluator
+        evaluator = evaluator_cls(circuit, kdf=garbler.kdf)
         received = self._parse_tables(tables_blob, garbled)
         wire_labels = evaluator.evaluate(received, alice_labels, bob_labels)
         output_labels = evaluator.output_labels(wire_labels)
@@ -256,6 +302,16 @@ class TwoPartySession:
 
         if len(blob) % 32:
             raise ProtocolError("corrupt garbled-table blob")
+        if self.vectorized:
+            # zero-copy view: the fast evaluator reads the plane directly
+            plane = np.frombuffer(blob, dtype=np.uint8).reshape(-1, 32)
+            return GarbledCircuit(
+                tables=LazyTables(plane),
+                const_labels=garbled.const_labels,
+                decode_bits=[],  # withheld from the evaluator
+                tweak_base=garbled.tweak_base,
+                tables_plane=plane,
+            )
         tables = [
             GarbledGate.from_bytes(blob[i : i + 32])
             for i in range(0, len(blob), 32)

@@ -35,7 +35,7 @@ from .compile.compiler import CompiledModel, CompileOptions, compile_model
 from .compile.costmodel import CostBreakdown, GCCostModel
 from .engine import Backend, EngineConfig, PregarbledPool, get_backend
 from .engine.result import ExecutionResult
-from .errors import CompileError
+from .errors import BatchInferenceError, CompileError
 from .gc.cipher import HashKDF
 from .gc.ot import OTGroup
 from .nn.model import Sequential
@@ -81,6 +81,10 @@ class InferenceResult:
         backend: name of the execution flow that served the request.
         request_id: echoed from the request, if any.
         pregarbled: True when the garbling came from the offline pool.
+        error: failure description when the request did not complete
+            (``infer_many(..., return_errors=True)`` marks failed slots
+            this way instead of discarding the whole batch); ``label``
+            is -1 for failed results.
     """
 
     label: int
@@ -90,6 +94,12 @@ class InferenceResult:
     backend: str = "two_party"
     request_id: Optional[str] = None
     pregarbled: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the request completed (no per-request error)."""
+        return self.error is None
 
     @property
     def wall_seconds(self) -> float:
@@ -157,6 +167,14 @@ class PrivateInferenceService:
         )
         self._backends: Dict[str, Backend] = {}
         self._lock = threading.Lock()
+        # serving counters; mutated only under self._lock (execute runs
+        # on infer_many's thread pool, so unlocked += would drop updates)
+        self._stats: Dict[str, object] = {
+            "requests": 0,
+            "errors": 0,
+            "pregarbled": 0,
+            "by_backend": {},
+        }
         # the pool is created at its configured capacity but stays cold:
         # prepare() is the explicit offline phase (garbling is work the
         # operator schedules, not a construction side effect)
@@ -206,6 +224,8 @@ class PrivateInferenceService:
             kdf=self.config.kdf,
             ot_group=self.config.ot_group,
             rng=self.config.rng,
+            vectorized=self.config.vectorized,
+            refill=self.config.pool_refill,
         )
 
     @property
@@ -215,14 +235,31 @@ class PrivateInferenceService:
 
     @property
     def history(self) -> List[InferenceResult]:
-        """Snapshot of retained inference records (newest last).
+        """Consistent snapshot of retained inference records (newest last).
 
         Backed by a deque capped at ``EngineConfig.history_limit`` (0
         retains nothing; the legacy constructor shim caps at 512 instead
         of the seed's unbounded list).  Returned as a list so seed-era
-        slicing keeps working.
+        slicing keeps working; copied under the service lock so readers
+        never observe a half-applied batch from ``infer_many``'s pool.
         """
-        return list(self._history)
+        with self._lock:
+            return list(self._history)
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Serving counters plus pool stats, snapshotted under the lock."""
+        with self._lock:
+            snapshot: Dict[str, object] = dict(self._stats)
+            snapshot["by_backend"] = dict(self._stats["by_backend"])
+        if self._pool is not None:
+            snapshot["pool"] = self._pool.stats()
+        return snapshot
+
+    def close(self) -> None:
+        """Release serving resources (stops any background pool refill)."""
+        if self._pool is not None:
+            self._pool.close()
 
     def prepare(self, count: Optional[int] = None) -> int:
         """Pre-garble circuit copies ahead of requests (offline phase).
@@ -257,6 +294,7 @@ class PrivateInferenceService:
                     kdf=self.config.kdf,
                     ot_group=self.config.ot_group,
                     rng=self.config.rng,
+                    vectorized=self.config.vectorized,
                 )
                 if name == self.config.backend:
                     options.update(self.config.backend_options)
@@ -267,14 +305,26 @@ class PrivateInferenceService:
         return backend
 
     def execute(self, request: InferenceRequest) -> InferenceResult:
-        """Serve one typed request through the configured engine."""
-        sample = np.asarray(request.sample)
-        backend = self._backend(request.backend or self.config.backend)
-        result: ExecutionResult = backend.run(
-            self.compiled.circuit,
-            self.compiled.client_bits(sample),
-            self._server_bits,
-        )
+        """Serve one typed request through the configured engine.
+
+        Thread-safe: ``infer_many`` runs this concurrently, so the
+        shared history/stats mutation happens under the service lock
+        (the protocol execution itself stays outside it).
+        """
+        backend_name = request.backend or self.config.backend
+        try:
+            sample = np.asarray(request.sample)
+            backend = self._backend(backend_name)
+            result: ExecutionResult = backend.run(
+                self.compiled.circuit,
+                self.compiled.client_bits(sample),
+                self._server_bits,
+            )
+        except Exception:
+            with self._lock:
+                self._stats["requests"] += 1
+                self._stats["errors"] += 1
+            raise
         record = InferenceResult(
             label=self.compiled.decode_output(result.outputs),
             comm_bytes=result.comm_bytes,
@@ -284,7 +334,13 @@ class PrivateInferenceService:
             request_id=request.request_id,
             pregarbled=bool(result.metadata.get("pregarbled", False)),
         )
-        self._history.append(record)
+        with self._lock:
+            self._history.append(record)
+            self._stats["requests"] += 1
+            if record.pregarbled:
+                self._stats["pregarbled"] += 1
+            by_backend = self._stats["by_backend"]
+            by_backend[record.backend] = by_backend.get(record.backend, 0) + 1
         return record
 
     def infer(
@@ -325,6 +381,7 @@ class PrivateInferenceService:
         self,
         requests: Sequence[Union[InferenceRequest, np.ndarray]],
         max_workers: int = 4,
+        return_errors: bool = False,
     ) -> List[InferenceResult]:
         """Serve a batch of requests concurrently (thread pool).
 
@@ -333,6 +390,15 @@ class PrivateInferenceService:
         with a warm pre-garbled pool the per-request online path is
         transfer + OT + evaluate + merge only.  Results come back in
         request order.
+
+        Per-request failures are isolated: every request runs to
+        completion regardless of its neighbours.  With
+        ``return_errors=False`` (default) a batch containing failures
+        raises :class:`repro.errors.BatchInferenceError` *after* the
+        whole batch finishes, carrying the completed results and the
+        per-request exceptions; with ``return_errors=True`` failed slots
+        come back as :class:`InferenceResult` records with ``error`` set
+        (``label`` -1) so callers can stream partial batches.
         """
         normalized = [
             r
@@ -343,10 +409,48 @@ class PrivateInferenceService:
         if not normalized:
             return []
         workers = max(1, min(max_workers, len(normalized)))
+
+        outcomes: List[Optional[InferenceResult]] = [None] * len(normalized)
+        errors: List[tuple] = []
+
+        def run_one(index: int, request: InferenceRequest) -> None:
+            try:
+                outcomes[index] = self.execute(request)
+            except Exception as exc:
+                errors.append((index, exc))
+
         if workers == 1:
-            return [self.execute(r) for r in normalized]
-        with ThreadPoolExecutor(max_workers=workers) as executor:
-            return list(executor.map(self.execute, normalized))
+            for index, request in enumerate(normalized):
+                run_one(index, request)
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    executor.submit(run_one, index, request)
+                    for index, request in enumerate(normalized)
+                ]
+                for future in futures:
+                    future.result()  # run_one never raises; this rejoins
+        errors.sort(key=lambda pair: pair[0])
+
+        if errors and not return_errors:
+            raise BatchInferenceError(
+                f"{len(errors)}/{len(normalized)} requests failed "
+                f"(first: {errors[0][1]!r}); completed results attached",
+                results=outcomes,
+                errors=errors,
+            ) from errors[0][1]
+        if errors:
+            for index, exc in errors:
+                outcomes[index] = InferenceResult(
+                    label=-1,
+                    comm_bytes=0,
+                    times={},
+                    n_non_xor=0,
+                    backend=normalized[index].backend or self.config.backend,
+                    request_id=normalized[index].request_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+        return outcomes
 
     def infer_batch(self, samples: np.ndarray) -> List[int]:
         """Private inference over a batch (one protocol run per sample —

@@ -1,0 +1,417 @@
+"""Vectorized level-scheduled garbling engine vs the scalar reference.
+
+The contract under test: given the same rng stream, the NumPy engine
+(`Garbler(vectorized=True)` / `FastGarbler` / `FastEvaluator`) and the
+gate-at-a-time reference produce byte-identical tables, labels and
+decode bits, on random netlists and on the compiled Table 3-style DL
+circuits — and every registered backend keeps label parity on both
+engines.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import CircuitBuilder, FixedPointFormat
+from repro.circuits.simulate import simulate
+from repro.compile import CompileOptions, compile_model
+from repro.engine import available_backends, get_backend
+from repro.errors import GarblingError
+from repro.gc import (
+    ArrayLabelStore,
+    Evaluator,
+    FastEvaluator,
+    FastGarbler,
+    Garbler,
+    LabelStore,
+    garble_many,
+)
+from repro.gc.cipher import FixedKeyAES, HashKDF
+from repro.gc.cutandchoose import _garble_from_seed, verify_opened_copy
+from repro.gc.ot import TEST_GROUP_512
+from repro.gc.protocol import TwoPartySession
+from repro.nn import Dense, QuantizedModel, Sequential, Tanh, TrainConfig, Trainer
+
+FMT = FixedPointFormat(2, 6)
+
+
+def _random_circuit(seed: int, n_gates: int = 120, n_inputs: int = 4):
+    """A random netlist covering every gate type (incl. unary chains)."""
+    rng = random.Random(seed)
+    bld = CircuitBuilder(use_structural_hashing=False, fold_constants=False)
+    a = bld.add_alice_inputs(n_inputs)
+    b = bld.add_bob_inputs(n_inputs)
+    wires = list(a) + list(b) + [bld.zero, bld.one]
+    ops = ["xor", "xnor", "and", "or", "nand", "nor", "andn", "not"]
+    for _ in range(n_gates):
+        op = rng.choice(ops)
+        x = rng.choice(wires)
+        if op == "not":
+            wires.append(bld.emit_not(x))
+        else:
+            wires.append(getattr(bld, f"emit_{op}")(x, rng.choice(wires)))
+    for w in wires[-5:]:
+        bld.mark_output(w)
+    return bld.build()
+
+
+@pytest.fixture(scope="module")
+def compiled_dl():
+    """A compiled DL inference netlist (Table 3 component mix)."""
+    rng = np.random.default_rng(5)
+    x = rng.uniform(-1, 1, size=(300, 6))
+    y = (x @ rng.normal(size=(6, 3))).argmax(axis=1)
+    model = Sequential([Dense(4), Tanh(), Dense(3)], input_shape=(6,), seed=5)
+    Trainer(model, TrainConfig(epochs=15, learning_rate=0.2)).fit(x, y)
+    quantized = QuantizedModel(model, FMT, activation_variant="exact")
+    compiled = compile_model(
+        quantized, CompileOptions(activation="exact", output="argmax")
+    )
+    return compiled, quantized, x
+
+
+class TestLevelSchedule:
+    def test_schedule_partitions_every_gate(self):
+        circuit = _random_circuit(3)
+        schedule = circuit.level_schedule()
+        seen = []
+        for level in schedule.levels:
+            seen.extend(int(w) for w in level.free_out)
+            seen.extend(int(w) for w in level.nf_out)
+        assert sorted(seen) == sorted(g.out for g in circuit.gates)
+        counts = circuit.counts()
+        assert schedule.n_non_free == counts.non_xor
+        assert schedule.scratch_wire == circuit.n_wires
+
+    def test_levels_respect_dependencies(self):
+        circuit = _random_circuit(4)
+        schedule = circuit.level_schedule()
+        produced_at = {}
+        for depth, level in enumerate(schedule.levels):
+            for w in list(level.free_out) + list(level.nf_out):
+                produced_at[int(w)] = depth
+        for depth, level in enumerate(schedule.levels):
+            for a in list(level.free_a) + list(level.nf_a) + list(level.nf_b):
+                a = int(a)
+                if a in produced_at:
+                    assert produced_at[a] < depth
+        # free_b may be the scratch row (unary gates)
+        for level in schedule.levels:
+            for b in level.free_b:
+                assert int(b) <= circuit.n_wires
+
+    def test_schedule_cached(self):
+        circuit = _random_circuit(5)
+        assert circuit.level_schedule() is circuit.level_schedule()
+
+    def test_misordered_netlist_rejected(self):
+        """Use-before-definition must raise, not silently garble zeros."""
+        from repro.circuits.gates import Gate, GateType
+        from repro.circuits.netlist import Circuit
+        from repro.errors import CircuitError
+
+        gates = [
+            Gate(GateType.AND, a=2, b=6, out=5),  # reads wire 6 early
+            Gate(GateType.AND, a=2, b=3, out=6),
+        ]
+        circuit = Circuit(n_alice=1, n_bob=1, gates=gates,
+                          outputs=[5], n_wires=7)
+        with pytest.raises(CircuitError, match="topologically"):
+            circuit.level_schedule()
+
+    def test_table_indices_are_netlist_order(self):
+        circuit = _random_circuit(6)
+        schedule = circuit.level_schedule()
+        order = {}
+        tidx = 0
+        for gate in circuit.gates:
+            if not gate.op.is_free:
+                order[gate.out] = tidx
+                tidx += 1
+        for level in schedule.levels:
+            for out, t in zip(level.nf_out, level.nf_tidx):
+                assert order[int(out)] == int(t)
+
+
+class TestHashMany:
+    @pytest.mark.parametrize("kdf", [HashKDF(), FixedKeyAES()])
+    def test_matches_scalar_hash(self, kdf):
+        rng = random.Random(1)
+        rows = np.frombuffer(
+            bytes(rng.getrandbits(8) for _ in range(24 * 33)), dtype=np.uint8
+        ).reshape(33, 24).copy()
+        batched = kdf.hash_many(rows)
+        for i in range(33):
+            label = int.from_bytes(rows[i, :16].tobytes(), "little")
+            tweak = int.from_bytes(rows[i, 16:].tobytes(), "little")
+            expected = kdf.hash(label, tweak)
+            got = int.from_bytes(np.ascontiguousarray(batched[i]).tobytes(),
+                                 "little")
+            assert got == expected, f"row {i}"
+
+    def test_empty_batch(self):
+        rows = np.empty((0, 24), dtype=np.uint8)
+        assert HashKDF().hash_many(rows).shape == (0, 16)
+
+    def test_subclass_overriding_only_hash_stays_consistent(self):
+        """hash_many must route through an overridden hash() oracle."""
+
+        class XorKDF(HashKDF):
+            def hash(self, label, tweak):
+                return (label ^ tweak ^ 0xA5A5) & ((1 << 128) - 1)
+
+        kdf = XorKDF()
+        rows = np.arange(24 * 5, dtype=np.uint8).reshape(5, 24).copy()
+        batched = kdf.hash_many(rows)
+        for i in range(5):
+            label = int.from_bytes(rows[i, :16].tobytes(), "little")
+            tweak = int.from_bytes(rows[i, 16:].tobytes(), "little")
+            got = int.from_bytes(
+                np.ascontiguousarray(batched[i]).tobytes(), "little"
+            )
+            assert got == kdf.hash(label, tweak)
+
+    def test_custom_kdf_garbles_consistently(self):
+        """Hybrid engine with a hash()-only subclass: wide and narrow
+        levels must use the same oracle (and match the scalar path)."""
+
+        class ShiftKDF(HashKDF):
+            def hash(self, label, tweak):
+                data = (label ^ 3).to_bytes(16, "little") + \
+                    tweak.to_bytes(8, "little")
+                import hashlib
+                return int.from_bytes(
+                    hashlib.sha256(b"x" + data).digest()[:16], "little"
+                )
+
+        circuit = _random_circuit(21)
+        kdf = ShiftKDF()
+        g_scalar = Garbler(circuit, kdf=kdf, rng=random.Random(4)).garble()
+        g_fast = Garbler(circuit, kdf=kdf, rng=random.Random(4),
+                         vectorized=True).garble()
+        assert g_scalar.tables_bytes() == g_fast.tables_bytes()
+
+
+class TestArrayLabelStore:
+    def test_same_stream_as_scalar_store(self):
+        scalar = LabelStore(rng=random.Random(9))
+        fast = ArrayLabelStore(8, rng=random.Random(9))
+        assert scalar.delta == fast.delta
+        for wire in range(6):
+            assert scalar.assign_fresh(wire) == fast.assign_fresh(wire)
+            assert scalar.zero(wire) == fast.zero(wire)
+            assert scalar.one(wire) == fast.one(wire)
+            assert scalar.select(wire, 1) == fast.select(wire, 1)
+
+    def test_decode_and_errors(self):
+        store = ArrayLabelStore(4, rng=random.Random(2))
+        label = store.assign_fresh(2)
+        assert store.decode_bit(2, label) == 0
+        assert store.decode_bit(2, label ^ store.delta) == 1
+        with pytest.raises(GarblingError):
+            store.decode_bit(2, label ^ 1 ^ store.delta ^ store.delta << 1)
+        with pytest.raises(GarblingError):
+            store.zero(3)  # never assigned
+        with pytest.raises(GarblingError):
+            store.set_zero(4, 1)  # out of range
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_identical_garbling_material(self, seed):
+        circuit = _random_circuit(seed)
+        scalar = Garbler(circuit, rng=random.Random(100 + seed))
+        fast = Garbler(circuit, rng=random.Random(100 + seed),
+                       vectorized=True)
+        assert fast.vectorized and not scalar.vectorized
+        g_scalar = scalar.garble()
+        g_fast = fast.garble()
+        assert g_scalar.tables_bytes() == g_fast.tables_bytes()
+        assert g_scalar.const_labels == g_fast.const_labels
+        assert g_scalar.decode_bits == g_fast.decode_bits
+        assert scalar.labels.delta == fast.labels.delta
+        for wire in range(circuit.n_wires):
+            try:
+                expected = scalar.labels.zero(wire)
+            except GarblingError:
+                continue
+            assert expected == fast.labels.zero(wire), f"wire {wire}"
+
+    @given(st.integers(0, 2**16), st.integers(10, 150))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_netlists(self, seed, n_gates):
+        """Scalar and vectorized garblers agree on arbitrary netlists."""
+        circuit = _random_circuit(seed, n_gates=n_gates)
+        rng_bits = random.Random(seed ^ 0x5EED)
+        alice = [rng_bits.randint(0, 1) for _ in range(circuit.n_alice)]
+        bob = [rng_bits.randint(0, 1) for _ in range(circuit.n_bob)]
+
+        scalar = Garbler(circuit, rng=random.Random(seed))
+        fast = FastGarbler(circuit, rng=random.Random(seed))
+        g_scalar = scalar.garble()
+        g_fast = fast.garble()
+        assert g_scalar.tables_bytes() == g_fast.tables_bytes()
+        assert g_scalar.decode_bits == g_fast.decode_bits
+
+        alice_labels = scalar.input_labels_for(
+            list(circuit.alice_inputs), alice
+        )
+        bob_labels = [
+            scalar.labels.select(w, bit)
+            for w, bit in zip(circuit.bob_inputs, bob)
+        ]
+        ref = Evaluator(circuit).evaluate(g_scalar, alice_labels, bob_labels)
+        vec = FastEvaluator(circuit).evaluate(g_fast, alice_labels, bob_labels)
+        ref_out = [ref[w] for w in circuit.outputs]
+        vec_out = [vec[w] for w in circuit.outputs]
+        assert ref_out == vec_out
+        assert scalar.decode_outputs(vec_out) == simulate(circuit, alice, bob)
+
+    def test_cross_engine_evaluation(self):
+        """Fast-garbled tables evaluate on the scalar evaluator and back."""
+        circuit = _random_circuit(7)
+        fast = FastGarbler(circuit, rng=random.Random(7))
+        garbled = fast.garble()
+        alice = [1] * circuit.n_alice
+        bob = [0, 1] * (circuit.n_bob // 2)
+        alice_labels = fast.input_labels_for(list(circuit.alice_inputs), alice)
+        bob_labels = [
+            fast.labels.select(w, bit)
+            for w, bit in zip(circuit.bob_inputs, bob)
+        ]
+        # scalar evaluator consumes the fast garbler's LazyTables
+        ref = Evaluator(circuit).evaluate(garbled, alice_labels, bob_labels)
+        # fast evaluator consumes a scalar-garbled circuit
+        scalar = Garbler(circuit, rng=random.Random(7))
+        vec = FastEvaluator(circuit).evaluate(
+            scalar.garble(), alice_labels, bob_labels
+        )
+        assert [ref[w] for w in circuit.outputs] == \
+            [vec[w] for w in circuit.outputs]
+        assert fast.decode_outputs([ref[w] for w in circuit.outputs]) == \
+            simulate(circuit, alice, bob)
+
+    def test_fixed_key_aes_kdf_supported(self):
+        circuit = _random_circuit(8, n_gates=40)
+        kdf = FixedKeyAES()
+        g_scalar = Garbler(circuit, kdf=kdf, rng=random.Random(1)).garble()
+        g_fast = Garbler(circuit, kdf=kdf, rng=random.Random(1),
+                         vectorized=True).garble()
+        assert g_scalar.tables_bytes() == g_fast.tables_bytes()
+
+
+class TestGarbleMany:
+    def test_copies_are_independent_and_correct(self):
+        circuit = _random_circuit(11)
+        pairs = garble_many(circuit, 4, rng=random.Random(3))
+        assert len(pairs) == 4
+        blobs = {g.tables_bytes() for _, g in pairs}
+        assert len(blobs) == 4  # independent deltas/labels per copy
+        alice = [0] * circuit.n_alice
+        bob = [1] * circuit.n_bob
+        for garbler, garbled in pairs:
+            labels = FastEvaluator(circuit).evaluate(
+                garbled,
+                garbler.input_labels_for(list(circuit.alice_inputs), alice),
+                [garbler.labels.select(w, b)
+                 for w, b in zip(circuit.bob_inputs, bob)],
+            )
+            outs = [labels[w] for w in circuit.outputs]
+            assert garbler.decode_outputs(outs) == simulate(circuit, alice, bob)
+
+    def test_seeded_rngs_match_scalar_regarble(self):
+        """Cut-and-choose determinism: batch copies == scalar re-garble."""
+        circuit = _random_circuit(12)
+        seeds = [101, 202, 303]
+        pairs = garble_many(
+            circuit, rngs=[random.Random(s) for s in seeds]
+        )
+        for seed, (_, garbled) in zip(seeds, pairs):
+            _, ref = _garble_from_seed(circuit, seed, HashKDF(),
+                                       vectorized=False)
+            assert ref.tables_bytes() == garbled.tables_bytes()
+
+    def test_verify_opened_copy_across_engines(self):
+        from repro.gc.cutandchoose import CutAndChooseGarbler, _commit
+
+        circuit = _random_circuit(13)
+        cnc = CutAndChooseGarbler(
+            circuit, copies=3, rng=random.Random(5), vectorized=True
+        )
+        tables = cnc.tables()
+        commitments = cnc.commitments()
+        for opened in cnc.open([0, 2]):
+            for vectorized in (True, False):
+                assert verify_opened_copy(
+                    circuit, opened, commitments[opened.index],
+                    tables[opened.index], vectorized=vectorized,
+                )
+
+    def test_count_validation(self):
+        circuit = _random_circuit(14)
+        assert garble_many(circuit, 0) == []
+        with pytest.raises(GarblingError):
+            garble_many(circuit)
+
+
+class TestSessionAndBackends:
+    def test_vectorized_session_matches_scalar_session(self, compiled_dl):
+        compiled, quantized, x = compiled_dl
+        bits_a = compiled.client_bits(x[0])
+        bits_b = compiled.server_bits()
+        fast = TwoPartySession(
+            compiled.circuit, ot_group=TEST_GROUP_512,
+            rng=random.Random(21), vectorized=True,
+        ).run(bits_a, bits_b)
+        slow = TwoPartySession(
+            compiled.circuit, ot_group=TEST_GROUP_512,
+            rng=random.Random(21), vectorized=False,
+        ).run(bits_a, bits_b)
+        assert fast.outputs == slow.outputs
+        assert fast.comm == slow.comm  # identical wire traffic
+
+    def test_pregarble_many_units_serve_requests(self, compiled_dl):
+        compiled, quantized, x = compiled_dl
+        session = TwoPartySession(
+            compiled.circuit, ot_group=TEST_GROUP_512, rng=random.Random(22)
+        )
+        units = session.pregarble_many(3)
+        assert len(units) == 3
+        bits_b = compiled.server_bits()
+        for i, unit in enumerate(units):
+            result = session.run(
+                compiled.client_bits(x[i]), bits_b, pregarbled=unit
+            )
+            assert compiled.decode_output(result.outputs) == int(
+                quantized.predict(x[i][None])[0]
+            )
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    @pytest.mark.parametrize(
+        "name",
+        ["two_party", "outsourced", "folded", "cut_and_choose", "simulate"],
+    )
+    def test_label_parity_all_backends_both_engines(
+        self, compiled_dl, name, vectorized
+    ):
+        """All five backends agree with cleartext on either engine."""
+        compiled, quantized, x = compiled_dl
+        backend = get_backend(
+            name, ot_group=TEST_GROUP_512, rng=random.Random(30),
+            vectorized=vectorized,
+        )
+        result = backend.run(
+            compiled.circuit, compiled.client_bits(x[1]),
+            compiled.server_bits(),
+        )
+        assert compiled.decode_output(result.outputs) == int(
+            quantized.predict(x[1][None])[0]
+        )
+
+    def test_registry_complete(self):
+        assert set(
+            ["two_party", "outsourced", "folded", "cut_and_choose", "simulate"]
+        ) <= set(available_backends())

@@ -1,8 +1,18 @@
-"""Shared helpers for the benchmark harness."""
+"""Shared helpers for the benchmark harness.
 
+Also a tiny CLI: ``python benchmarks/_bench_util.py check BASELINE.json``
+compares a freshly written ``BENCH_engine.json`` against a baseline
+snapshot and exits non-zero when any shared benchmark id regressed its
+speedup-style metrics beyond the tolerance — the CI ``bench`` job runs
+this against the committed trajectory so perf regressions fail the
+build instead of silently rewriting the numbers.
+"""
+
+import argparse
 import json
 import os
 import pathlib
+import sys
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -42,3 +52,86 @@ def record_trajectory(entry_id: str, payload: dict) -> None:
     TRAJECTORY_PATH.write_text(json.dumps(data, indent=2, sort_keys=True)
                                + "\n")
     print(f"\n[trajectory:{entry_id}] -> {TRAJECTORY_PATH}")
+
+
+def compare_trajectory(baseline: dict, current: dict,
+                       tolerance: float = 0.25) -> list:
+    """Find speedup regressions between two trajectory files.
+
+    Compares every benchmark id present in *both* files (ids only in one
+    are skipped — a bench that did not re-run has nothing to report).
+    Only ratio metrics (``speedup`` / ``*_speedup`` / ``speedup_*``
+    keys) are compared: they are the machine-portable part of an entry,
+    unlike absolute seconds, which differ between the committing host
+    and CI runners.  A regression is a current ratio more than
+    ``tolerance`` below the baseline.
+
+    Returns:
+        Human-readable problem strings (empty = no regressions).
+    """
+    base_entries = {e.get("id"): e for e in baseline.get("entries", [])}
+    cur_entries = {e.get("id"): e for e in current.get("entries", [])}
+    problems = []
+    for entry_id, base in base_entries.items():
+        cur = cur_entries.get(entry_id)
+        if cur is None:
+            continue
+        for key, base_val in sorted(base.items()):
+            if "speedup" not in key:
+                continue
+            if not isinstance(base_val, (int, float)) or isinstance(
+                base_val, bool
+            ):
+                continue
+            cur_val = cur.get(key)
+            if not isinstance(cur_val, (int, float)) or base_val <= 0:
+                continue
+            if cur_val < base_val * (1.0 - tolerance):
+                drop = (1.0 - cur_val / base_val) * 100.0
+                problems.append(
+                    f"{entry_id}.{key}: {cur_val:.3f} vs baseline "
+                    f"{base_val:.3f} (-{drop:.0f}%, tolerance "
+                    f"{tolerance * 100:.0f}%)"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark trajectory utilities"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    check = sub.add_parser(
+        "check", help="fail when the current trajectory regressed"
+    )
+    check.add_argument("baseline", type=pathlib.Path,
+                       help="baseline BENCH_engine.json snapshot")
+    check.add_argument("--current", type=pathlib.Path,
+                       default=TRAJECTORY_PATH,
+                       help="trajectory to check (default: repo root)")
+    check.add_argument("--tolerance", type=float,
+                       default=float(os.environ.get(
+                           "REPRO_BENCH_TOLERANCE", "0.25")),
+                       help="allowed fractional speedup drop "
+                            "(default 0.25)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    problems = compare_trajectory(baseline, current, args.tolerance)
+    compared = sorted(
+        set(e.get("id") for e in baseline.get("entries", []))
+        & set(e.get("id") for e in current.get("entries", []))
+    )
+    print(f"compared {len(compared)} benchmark ids: {', '.join(compared)}")
+    if problems:
+        print("PERF REGRESSIONS:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("no speedup regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -321,9 +321,13 @@ class ScheduleLevel:
         return int(self.nf_out.size)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(eq=False)
 class LevelSchedule:
     """Cached per-level gate arrays for the vectorized GC engine.
+
+    Immutable by convention (one cached instance per circuit); the only
+    mutable member is the fused-run cache behind
+    :meth:`fused_narrow_runs`.
 
     Attributes:
         levels: dependency levels in execution order.
@@ -339,6 +343,77 @@ class LevelSchedule:
     n_wires: int
     scratch_wire: int
     gate_outs: Any
+    _fused_cache: Dict[Tuple[int, int], Dict[int, tuple]] = dataclasses.field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def fused_narrow_runs(
+        self, batch: int, min_width: int
+    ) -> Dict[int, Tuple[int, Tuple[Tuple[int, ...], ...]]]:
+        """Pre-flattened gate runs over consecutive narrow levels.
+
+        The hybrid engine processes a level gate-at-a-time when its
+        effective width (``batch`` copies x gates) stays below
+        ``min_width`` — the ripple-carry tails of adder trees produce
+        long stretches of such levels, each paying per-level Python
+        dispatch for one or two gates.  This returns, for every maximal
+        run of >= 2 consecutive all-narrow levels, the run's gates
+        flattened into one tuple so the engine executes the whole
+        stretch in a single scalar loop.
+
+        Returns:
+            ``{start_level_index: (end_level_index, gate_records,
+            out_wires, table_indices)}``.  Each record is
+            ``(a, b, out, tidx, ia, ib, io)``; free gates carry
+            ``tidx == -1`` with their inversion flag in ``ia`` (``b``
+            already points at the scratch zero row for unary gates).
+            ``out_wires`` is the runs' output wires and
+            ``table_indices`` its garbled-table slots, both as index
+            arrays in record order — the engine computes the whole run
+            on cached Python ints and scatters results back to the label
+            plane in one assignment each.  Gate order preserves level
+            order, so dependencies hold; within a level all gates are
+            independent.  Cached per ``(batch, min_width)``.
+        """
+        import numpy as np
+
+        key = (batch, min_width)
+        cached = self._fused_cache.get(key)
+        if cached is not None:
+            return cached
+
+        def narrow(level: ScheduleLevel) -> bool:
+            return (
+                batch * level.n_free < min_width
+                and batch * level.n_non_free < min_width
+            )
+
+        runs: Dict[int, tuple] = {}
+        levels = self.levels
+        i = 0
+        while i < len(levels):
+            if not narrow(levels[i]):
+                i += 1
+                continue
+            j = i
+            while j < len(levels) and narrow(levels[j]):
+                j += 1
+            if j - i >= 2:
+                records = []
+                for level in levels[i:j]:
+                    for a, b, out, inv in level.free_gates:
+                        records.append((a, b, out, -1, inv, 0, 0))
+                    records.extend(level.nf_gates)
+                out_wires = np.asarray(
+                    [r[2] for r in records], dtype=np.intp
+                )
+                table_indices = np.asarray(
+                    [r[3] for r in records if r[3] >= 0], dtype=np.intp
+                )
+                runs[i] = (j, tuple(records), out_wires, table_indices)
+            i = j
+        self._fused_cache[key] = runs
+        return runs
 
     @classmethod
     def build(cls, circuit: "Circuit") -> "LevelSchedule":

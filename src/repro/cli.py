@@ -126,7 +126,8 @@ _DEMO_SAMPLES = 400
 def _demo_service(backend: str = "two_party", activation: str = "exact",
                   pool_size: int = 0, history_limit: int = 0, seed: int = 1,
                   pool_refill: str = "opportunistic",
-                  vectorized: bool = True):
+                  vectorized: bool = True, kdf_workers: int = 1,
+                  pool_low_watermark=None):
     """A small trained service for the live subcommands (fast OT group)."""
     import random
 
@@ -151,8 +152,10 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
         ot_group=TEST_GROUP_512,
         rng=random.Random(seed),
         vectorized=vectorized,
+        kdf_workers=kdf_workers,
         pool_size=pool_size,
         pool_refill=pool_refill,
+        pool_low_watermark=pool_low_watermark,
         history_limit=history_limit,
     )
     return PrivateInferenceService(model, config), x
@@ -198,6 +201,7 @@ def _cmd_serve(args) -> None:
     service, x = _demo_service(
         pool_size=pool_size, history_limit=args.requests,
         pool_refill=args.refill, vectorized=not args.scalar,
+        kdf_workers=args.kdf_workers, pool_low_watermark=args.watermark,
     )
     pool = service.pool
     print(service.circuit_summary)
@@ -205,13 +209,14 @@ def _cmd_serve(args) -> None:
         warmed = service.prepare()
         print(f"offline phase: {warmed} circuits pre-garbled "
               f"(engine {'scalar' if args.scalar else 'vectorized'}, "
-              f"refill {args.refill})")
+              f"refill {args.refill}, kdf workers {args.kdf_workers})")
     else:
         print("offline phase: disabled (--pool 0, cold baseline)")
 
+    batch = {"auto": None, "on": True, "off": False}[args.batch]
     start = time.perf_counter()
     results = service.infer_many(
-        list(x[: args.requests]), max_workers=args.workers
+        list(x[: args.requests]), max_workers=args.workers, batch=batch
     )
     wall = time.perf_counter() - start
 
@@ -298,6 +303,17 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("none", "opportunistic", "background"),
                        help="pool refill policy once the warm material "
                             "drains (default: opportunistic)")
+    serve.add_argument("--watermark", type=int, default=None,
+                       help="pool low watermark: refills trigger below "
+                            "this level (default: full capacity)")
+    serve.add_argument("--batch", default="auto",
+                       choices=("auto", "on", "off"),
+                       help="batched evaluation: push concurrent "
+                            "requests through one evaluate_many pass "
+                            "(default: auto)")
+    serve.add_argument("--kdf-workers", type=int, default=1,
+                       help="thread-split the batched KDF across this "
+                            "many workers (0 = host cores)")
     serve.add_argument("--scalar", action="store_true",
                        help="use the gate-at-a-time reference engine "
                             "instead of the vectorized one")

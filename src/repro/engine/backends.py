@@ -203,6 +203,63 @@ class TwoPartyBackend(Backend):
             metadata["offline_garble_s"] = pregarbled.garble_seconds
         return ExecutionResult.from_protocol(result, self.name, metadata)
 
+    def run_many(
+        self,
+        circuit: Circuit,
+        client_bits_list: Sequence[Sequence[int]],
+        server_bits: Sequence[int],
+    ) -> List[ExecutionResult]:
+        """Serve a batch of requests through one evaluation pass.
+
+        All requests share one :meth:`TwoPartySession.run_many` call, so
+        garbling for pool misses is batched and every request's label
+        plane goes through a single level-schedule walk
+        (``FastEvaluator.evaluate_many``) instead of per-request scalar
+        runs.  ``PrivateInferenceService.infer_many`` routes concurrent
+        same-backend requests here.
+        """
+        k = len(client_bits_list)
+        if k == 0:
+            return []
+        # validate every request before touching the pool so a malformed
+        # batch cannot burn single-use pre-garbled units
+        for i, bits in enumerate(client_bits_list):
+            if len(bits) != circuit.n_alice:
+                raise EngineError(
+                    f"client input width mismatch in request {i}: got "
+                    f"{len(bits)}, circuit expects {circuit.n_alice}"
+                )
+        if len(server_bits) != circuit.n_bob:
+            raise EngineError(
+                f"server input width mismatch: got {len(server_bits)}, "
+                f"circuit expects {circuit.n_bob}"
+            )
+        slots = None
+        if self.pool is not None and self.pool.circuit is circuit:
+            slots = [self.pool.acquire() for _ in range(k)]
+        session = TwoPartySession(
+            circuit, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng,
+            vectorized=self.vectorized,
+        )
+        protocol_results = session.run_many(
+            client_bits_list,
+            [list(server_bits)] * k,
+            pregarbled=slots,
+        )
+        results: List[ExecutionResult] = []
+        for i, result in enumerate(protocol_results):
+            slot = slots[i] if slots is not None else None
+            metadata: Dict[str, object] = {
+                "pregarbled": slot is not None,
+                "batched": k,
+            }
+            if slot is not None:
+                metadata["offline_garble_s"] = slot.garble_seconds
+            results.append(
+                ExecutionResult.from_protocol(result, self.name, metadata)
+            )
+        return results
+
 
 @register_backend("outsourced")
 class OutsourcedBackend(Backend):
@@ -232,7 +289,9 @@ class FoldedBackend(Backend):
     The combinational circuit is wrapped as a zero-register sequential
     core and driven through :class:`repro.gc.sequential.SequentialSession`
     for one clock cycle — the same code path that clocks folded MAC
-    cells, exercised at service level.
+    cells, exercised at service level.  The session inherits this
+    backend's ``vectorized`` flag, so the folded flow runs on the
+    carried-label-plane engine by default.
     """
 
     def run(self, circuit, client_bits, server_bits) -> ExecutionResult:
@@ -242,7 +301,8 @@ class FoldedBackend(Backend):
             )
         sequential = SequentialCircuit(circuit, [])
         session = SequentialSession(
-            sequential, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng
+            sequential, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng,
+            vectorized=self.vectorized,
         )
         start = time.perf_counter()
         result = session.run(

@@ -11,6 +11,7 @@ pool size, history cap).
 from __future__ import annotations
 
 import dataclasses
+import os
 import secrets
 from typing import Any, Dict, Optional
 
@@ -48,12 +49,22 @@ class EngineConfig:
         vectorized: drive the level-scheduled NumPy garbling engine
             (default; bit-exact with the scalar path — disable only to
             compare against the gate-at-a-time reference).
+        kdf_workers: worker threads for the batched garbling oracle.
+            ``1`` (default) hashes inline; ``> 1`` wraps the KDF in a
+            :class:`repro.gc.cipher.ParallelKDF` that splits each
+            level's ``hash_many`` row block across a thread pool; ``0``
+            selects the host core count.  Output is worker-count
+            invariant.
         pool_size: pre-garbled circuit copies to keep ready (two-party
             backend only; 0 disables the offline/online split).
         pool_refill: how the pool recovers once drained — ``"none"``
             (operator-managed warming only), ``"opportunistic"``
-            (default: every acquire kicks one off-thread ``warm(1)``) or
-            ``"background"`` (daemon thread keeps the pool at capacity).
+            (default: every acquire kicks one off-thread batch ``warm``)
+            or ``"background"`` (daemon thread keeps the pool above the
+            low watermark).
+        pool_low_watermark: pool level below which refills trigger
+            (default ``None`` = full capacity); refill batches are sized
+            from the observed request drain rate.
         history_limit: cap on retained inference records; 0 (default)
             disables history entirely — recording is opt-in so sustained
             traffic cannot grow memory without bound.
@@ -69,8 +80,10 @@ class EngineConfig:
     ot_group: OTGroup = MODP_2048
     rng: Any = secrets
     vectorized: bool = True
+    kdf_workers: int = 1
     pool_size: int = 0
     pool_refill: str = "opportunistic"
+    pool_low_watermark: Optional[int] = None
     history_limit: int = 0
 
     def __post_init__(self) -> None:
@@ -91,6 +104,8 @@ class EngineConfig:
                 f"unknown backend {self.backend!r}; registered: "
                 f"{', '.join(available_backends())}"
             )
+        if self.kdf_workers < 0:
+            raise EngineError("kdf_workers must be >= 0 (0 = host cores)")
         if self.pool_size < 0:
             raise EngineError("pool_size must be >= 0")
         if self.pool_refill not in REFILL_POLICIES:
@@ -98,8 +113,26 @@ class EngineConfig:
                 f"unknown pool_refill {self.pool_refill!r}; "
                 f"choose from {', '.join(REFILL_POLICIES)}"
             )
+        if self.pool_low_watermark is not None and self.pool_low_watermark < 1:
+            raise EngineError("pool_low_watermark must be >= 1 (or None)")
         if self.history_limit < 0:
             raise EngineError("history_limit must be >= 0")
+
+    def effective_kdf(self) -> Optional[HashKDF]:
+        """The garbling oracle with ``kdf_workers`` applied.
+
+        Returns the configured ``kdf`` unchanged (possibly ``None`` for
+        the default) when a single worker is requested; otherwise wraps
+        it in a :class:`repro.gc.cipher.ParallelKDF`.  Call once per
+        service so every backend, pool and session shares one worker
+        pool.
+        """
+        from ..gc.cipher import ParallelKDF
+
+        workers = self.kdf_workers or (os.cpu_count() or 1)
+        if workers <= 1 or isinstance(self.kdf, ParallelKDF):
+            return self.kdf
+        return ParallelKDF(self.kdf, workers=workers)
 
     def compile_options(self) -> CompileOptions:
         """The compiler view of this configuration."""

@@ -13,15 +13,25 @@ first burst was a cold miss forever):
 
 * ``refill="none"`` — the caller owns warming (PR 1 behavior).
 * ``refill="opportunistic"`` — each ``acquire()`` kicks off one
-  off-thread ``warm(1)``, so sustained traffic keeps finding material.
-* ``refill="background"`` — a daemon thread tops the pool up to
-  capacity whenever it drops below the low watermark.
+  off-thread batch ``warm``, so sustained traffic keeps finding
+  material.
+* ``refill="background"`` — a daemon thread refills whenever the pool
+  drops below the low watermark.
+
+Refill batches are **watermark-driven and drain-rate-sized**: the pool
+tracks recent acquisitions and its own per-copy garbling time, and each
+refill warms enough copies to reach the watermark *plus* the demand
+expected to arrive while that batch garbles — burst traffic gets one
+amortized ``pregarble_many`` pass instead of a trickle of ``warm(1)``
+top-ups that can never catch up.
 """
 
 from __future__ import annotations
 
+import math
 import secrets
 import threading
+import time
 from collections import deque
 from typing import Deque, Dict, Optional
 
@@ -55,8 +65,9 @@ class PregarbledPool:
         refill: refill policy (see module docstring).  ``"background"``
             starts its daemon thread immediately, so the pool self-warms
             without an explicit ``warm()`` call.
-        low_watermark: background mode refills whenever the pool drops
-            below this level (default: the full capacity).
+        low_watermark: refills trigger whenever ready + pending copies
+            drop below this level (default: the full capacity); batch
+            sizes grow with the observed drain rate.
     """
 
     def __init__(
@@ -99,6 +110,10 @@ class PregarbledPool:
         self.hits = 0
         self.misses = 0
         self.last_refill_error: Optional[str] = None
+        # drain-rate observation window + per-copy garble-time EWMA: the
+        # inputs to watermark-driven refill batch sizing
+        self._acquire_times: Deque[float] = deque(maxlen=256)
+        self._per_copy_s: Optional[float] = None
         if refill == "background":
             self._refill_thread = threading.Thread(
                 target=self._refill_loop,
@@ -131,13 +146,22 @@ class PregarbledPool:
                 batch = room if count is None else min(room, count - added)
                 self._pending += batch
             items = []
+            start = time.monotonic()
             try:
                 items = self._session.pregarble_many(batch)
             finally:
+                elapsed = time.monotonic() - start
                 with self._lock:
                     self._pending -= batch
                     self._items.extend(items)
                     self.garbled_total += len(items)
+                    if items:
+                        per_copy = elapsed / len(items)
+                        self._per_copy_s = (
+                            per_copy
+                            if self._per_copy_s is None
+                            else 0.5 * self._per_copy_s + 0.5 * per_copy
+                        )
             added += len(items)
             if len(items) < batch:  # pregarble failed partway; don't spin
                 break
@@ -156,6 +180,7 @@ class PregarbledPool:
         serving cold misses forever.
         """
         with self._lock:
+            self._acquire_times.append(time.monotonic())
             if self._items:
                 self.hits += 1
                 item = self._items.popleft()
@@ -174,6 +199,11 @@ class PregarbledPool:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def drain_rate(self, window: float = 10.0) -> float:
+        """Observed acquisitions per second over the recent window."""
+        with self._lock:
+            return self._drain_rate_locked(window)
+
     def stats(self) -> Dict[str, object]:
         """Operator-facing snapshot (consistent under the pool lock)."""
         with self._lock:
@@ -187,6 +217,9 @@ class PregarbledPool:
                 "garbled_total": self.garbled_total,
                 "refills": self.refills,
                 "refill": self.refill,
+                "low_watermark": self.low_watermark,
+                "drain_rate": self._drain_rate_locked(),
+                "per_copy_s": self._per_copy_s,
             }
 
     def close(self) -> None:
@@ -200,28 +233,61 @@ class PregarbledPool:
 
     # -- refill machinery -------------------------------------------------
 
-    def _needs_refill(self) -> bool:
-        """Caller must hold the lock."""
-        watermark = (
+    def _watermark(self) -> int:
+        return (
             self.capacity if self.low_watermark is None
             else min(self.low_watermark, self.capacity)
         )
-        return len(self._items) + self._pending < watermark
+
+    def _needs_refill(self) -> bool:
+        """Caller must hold the lock."""
+        return len(self._items) + self._pending < self._watermark()
+
+    def _drain_rate_locked(self, window: float = 10.0) -> float:
+        """Acquires/second over the recent window (lock held)."""
+        now = time.monotonic()
+        recent = [t for t in self._acquire_times if now - t <= window]
+        if len(recent) < 2:
+            return 0.0
+        span = max(now - recent[0], 1e-6)
+        return len(recent) / span
+
+    def _refill_batch_locked(self) -> int:
+        """Refill batch size: watermark deficit scaled for in-flight demand.
+
+        Starts from the copies needed to reach the watermark, then
+        inflates for the requests expected to drain *while the batch
+        garbles* (observed drain rate x per-copy garble time) — a pool
+        refilling one copy at a time under burst traffic never catches
+        up.  Caller must hold the lock.
+        """
+        room = self.capacity - len(self._items) - self._pending
+        need = self._watermark() - len(self._items) - self._pending
+        if room <= 0 or need <= 0:
+            return 0
+        batch = need
+        rate = self._drain_rate_locked()
+        if rate > 0.0 and self._per_copy_s:
+            drag = rate * self._per_copy_s  # copies drained per copy warmed
+            if drag >= 1.0:
+                batch = room  # demand outpaces garbling; warm all we can
+            else:
+                batch = math.ceil(need / (1.0 - drag))
+        return max(1, min(room, batch))
 
     def _spawn_opportunistic_refill(self) -> None:
-        """One off-thread ``warm(1)`` per drain, never stacking workers."""
+        """One off-thread batch ``warm`` per drain, never stacking workers."""
         with self._lock:
-            if (
-                self._stop
-                or self._opportunistic_inflight
-                or not self._needs_refill()
-            ):
+            if self._stop or self._opportunistic_inflight:
+                return
+            batch = self._refill_batch_locked()
+            if batch <= 0:
                 return
             self._opportunistic_inflight = True
 
         def work() -> None:
             try:
-                if self.warm(1):
+                if self.warm(batch):
                     with self._lock:
                         self.refills += 1
             except Exception as exc:  # keep serving; surface via stats
@@ -235,15 +301,16 @@ class PregarbledPool:
         ).start()
 
     def _refill_loop(self) -> None:
-        """Background policy: top up to capacity whenever below watermark."""
+        """Background policy: batch-refill whenever below the watermark."""
         while True:
             with self._cond:
                 while not self._stop and not self._needs_refill():
                     self._cond.wait(timeout=0.5)
                 if self._stop:
                     return
+                batch = self._refill_batch_locked()
             try:
-                if self.warm():
+                if batch and self.warm(batch):
                     with self._lock:
                         self.refills += 1
             except Exception as exc:  # keep the thread alive

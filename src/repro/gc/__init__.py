@@ -7,7 +7,7 @@ garbling and XOR-sharing outsourcing.
 
 from .channel import Channel, ChannelStats, make_channel_pair
 from .cutandchoose import CutAndChooseGarbler, OpenedCopy, verify_opened_copy
-from .cipher import LABEL_BITS, FixedKeyAES, HashKDF, default_kdf
+from .cipher import LABEL_BITS, FixedKeyAES, HashKDF, ParallelKDF, default_kdf
 from .evaluate import Evaluator
 from .fastgarble import FastEvaluator, FastGarbler, LabelPlane, garble_many
 from .garble import GarbledCircuit, GarbledGate, Garbler
@@ -41,6 +41,7 @@ __all__ = [
     "permute_bit",
     "HashKDF",
     "FixedKeyAES",
+    "ParallelKDF",
     "default_kdf",
     "LABEL_BITS",
     "OTGroup",

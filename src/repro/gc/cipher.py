@@ -17,11 +17,21 @@ Labels are Python ints throughout (XOR on ints is fast and constant-free).
 from __future__ import annotations
 
 import hashlib
-from typing import List
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["LABEL_BITS", "LABEL_MASK", "HashKDF", "FixedKeyAES", "default_kdf"]
+__all__ = [
+    "LABEL_BITS",
+    "LABEL_MASK",
+    "HashKDF",
+    "FixedKeyAES",
+    "ParallelKDF",
+    "default_kdf",
+]
 
 LABEL_BITS = 128
 LABEL_MASK = (1 << LABEL_BITS) - 1
@@ -131,6 +141,11 @@ def _xtime(a: int) -> int:
     return a & 0xFF
 
 
+#: Table forms of the S-box and GF(2^8) doubling for the batched path.
+_SBOX_NP = np.array(_SBOX, dtype=np.uint8)
+_XTIME_NP = np.array([_xtime(i) for i in range(256)], dtype=np.uint8)
+
+
 def _expand_key(key: bytes) -> List[List[int]]:
     """FIPS-197 key schedule for AES-128; returns 11 round keys."""
     words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
@@ -158,6 +173,15 @@ class FixedKeyAES:
         if len(key) != 16:
             raise ValueError("AES-128 key must be 16 bytes")
         self._round_keys = _expand_key(key)
+        # (11, 4, 4) round-key matrices in state layout (row r, column c
+        # holds key byte 4c + r) for the batched encryptor
+        self._round_keys_np = np.array(
+            [
+                [[rk[4 * c + r] for c in range(4)] for r in range(4)]
+                for rk in self._round_keys
+            ],
+            dtype=np.uint8,
+        )
 
     def encrypt_block(self, block: bytes) -> bytes:
         """Encrypt one 16-byte block (column-major AES state)."""
@@ -209,9 +233,131 @@ class FixedKeyAES:
         cipher = self.encrypt_block(block)
         return int.from_bytes(cipher, "little") ^ k
 
+    def encrypt_blocks(self, blocks: "np.ndarray") -> "np.ndarray":
+        """Encrypt ``(n, 16)`` uint8 blocks at once (NumPy AES rounds).
+
+        Byte-identical to :meth:`encrypt_block` per row: S-box and xtime
+        become table lookups over the whole batch, ShiftRows a row roll,
+        MixColumns four broadcast XOR chains — the per-block Python
+        interpreter loop of the scalar path disappears.
+        """
+        # state[:, r, c] = blocks[:, r + 4c] (column-major AES state)
+        state = blocks.reshape(-1, 4, 4).transpose(0, 2, 1)
+        rks = self._round_keys_np
+        state = state ^ rks[0]
+        for rnd in range(1, 10):
+            state = _SBOX_NP[state]
+            for r in range(1, 4):
+                state[:, r] = np.roll(state[:, r], -r, axis=-1)
+            a0, a1, a2, a3 = (state[:, r] for r in range(4))
+            x0, x1, x2, x3 = _XTIME_NP[a0], _XTIME_NP[a1], _XTIME_NP[a2], _XTIME_NP[a3]
+            state = np.stack(
+                [
+                    x0 ^ x1 ^ a1 ^ a2 ^ a3,
+                    a0 ^ x1 ^ x2 ^ a2 ^ a3,
+                    a0 ^ a1 ^ x2 ^ x3 ^ a3,
+                    x0 ^ a0 ^ a1 ^ a2 ^ x3,
+                ],
+                axis=1,
+            )
+            state ^= rks[rnd]
+        state = _SBOX_NP[state]
+        for r in range(1, 4):
+            state[:, r] = np.roll(state[:, r], -r, axis=-1)
+        state ^= rks[10]
+        return np.ascontiguousarray(state.transpose(0, 2, 1)).reshape(-1, 16)
+
     def hash_many(self, rows: "np.ndarray") -> "np.ndarray":
-        """Batched oracle (row-by-row; pure-Python AES has no fast path)."""
-        return _hash_many_fallback(self, rows)
+        """Batched JustGarble oracle over stacked ``label || tweak`` rows.
+
+        Vectorizes the whole construction — GF(2^128) doubling on the
+        label bytes, the tweak XOR, and :meth:`encrypt_blocks` — so the
+        fixed-key cipher actually benefits from the level-scheduled
+        engine's batching.  Row-for-row identical to :meth:`hash`.
+        """
+        n = rows.shape[0]
+        if n == 0:
+            return np.empty((0, 16), dtype=np.uint8)
+        labels = rows[:, :16]
+        # K = 2X ^ T: double the 128-bit little-endian label (shift left
+        # one bit; a carry out of bit 127 folds back as 0x87)
+        k = np.empty((n, 16), dtype=np.uint8)
+        k[:, 1:] = (labels[:, 1:] << 1) | (labels[:, :15] >> 7)
+        k[:, 0] = labels[:, 0] << 1
+        k[:, 0] ^= (labels[:, 15] >> 7) * np.uint8(0x87)
+        k[:, :8] ^= rows[:, 16:24]
+        return self.encrypt_blocks(k) ^ k
+
+
+class ParallelKDF:
+    """Thread-split wrapper around any garbling oracle's batch path.
+
+    ``hash_many`` fans contiguous row blocks out to a worker pool and
+    concatenates the results in order, so the output is identical for
+    every worker count (including 1) — the batched oracle is a pure
+    per-row function.  Per-gate ``hash`` calls (narrow levels, the
+    scalar engine) delegate to the wrapped oracle unchanged, keeping the
+    hybrid engine's mixed batched/scalar calls consistent.
+
+    Wired through :attr:`repro.engine.EngineConfig.kdf_workers` so both
+    :class:`repro.gc.fastgarble.FastGarbler` and
+    :class:`~repro.gc.fastgarble.FastEvaluator` split their level-sized
+    KDF batches across cores.
+
+    Args:
+        kdf: the oracle to wrap (default: :class:`HashKDF`).
+        workers: worker-thread count; ``0`` selects ``os.cpu_count()``.
+        min_rows_per_worker: below this many rows per worker the batch
+            runs inline — tiny levels are cheaper than a thread hop.
+    """
+
+    def __init__(
+        self,
+        kdf: Optional[object] = None,
+        workers: int = 0,
+        min_rows_per_worker: int = 256,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.inner = kdf if kdf is not None else HashKDF()
+        self.workers = workers or (os.cpu_count() or 1)
+        self.min_rows_per_worker = max(1, min_rows_per_worker)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return f"parallel-{getattr(self.inner, 'name', 'kdf')}"
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="kdf-worker",
+                )
+            return self._pool
+
+    def hash(self, label: int, tweak: int) -> int:
+        """Per-gate oracle call (delegates; never parallel)."""
+        return self.inner.hash(label, tweak)
+
+    def hash_many(self, rows: "np.ndarray") -> "np.ndarray":
+        """Batched oracle, row blocks split across the worker pool."""
+        n = rows.shape[0]
+        n_splits = min(self.workers, max(1, n // self.min_rows_per_worker))
+        if n_splits <= 1:
+            return self.inner.hash_many(rows)
+        chunks = np.array_split(rows, n_splits)
+        results = list(self._ensure_pool().map(self.inner.hash_many, chunks))
+        return np.concatenate(results)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
 
 
 def default_kdf() -> HashKDF:

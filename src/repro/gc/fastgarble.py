@@ -79,7 +79,12 @@ def _assign_input_labels(
     circuit: Circuit,
     state_zero_labels: Optional[Sequence[int]],
 ) -> None:
-    """Draw constant/input/state labels in the scalar garbler's order."""
+    """Draw constant/input/state labels in the scalar garbler's order.
+
+    ``state_zero_labels`` may be the usual int sequence or an
+    ``(n_state, 16)`` uint8 row array (the folded session's carry form);
+    rows bypass the per-label int<->bytes conversions entirely.
+    """
     store.assign_fresh(CONST_ZERO)
     store.assign_fresh(CONST_ONE)
     for wire in circuit.alice_inputs:
@@ -90,6 +95,10 @@ def _assign_input_labels(
     if state_zero_labels is None:
         for wire in state_wires:
             store.assign_fresh(wire)
+    elif isinstance(state_zero_labels, np.ndarray):
+        if len(state_zero_labels) != len(state_wires):
+            raise GarblingError("wrong number of state labels")
+        store.set_zero_rows(state_wires, state_zero_labels)
     else:
         if len(state_zero_labels) != len(state_wires):
             raise GarblingError("wrong number of state labels")
@@ -103,6 +112,7 @@ def garble_copies(
     stores: Sequence[ArrayLabelStore],
     state_zero_labels: Optional[Sequence[int]] = None,
     tweak_base: int = 0,
+    fuse: bool = True,
 ) -> List[GarbledCircuit]:
     """Garble ``len(stores)`` independent copies in one schedule pass.
 
@@ -116,8 +126,11 @@ def garble_copies(
         kdf: shared garbling oracle.
         stores: one :class:`ArrayLabelStore` per copy.
         state_zero_labels: sequential carry-over labels (single-copy
-            garbling only).
+            garbling only); int sequence or ``(n_state, 16)`` uint8 rows.
         tweak_base: starting tweak, as in the scalar garbler.
+        fuse: collapse consecutive narrow levels into single
+            pre-flattened scalar runs (bit-identical either way; the
+            toggle exists for benchmarking the fusion itself).
 
     Returns:
         One :class:`GarbledCircuit` per store, in order.
@@ -147,7 +160,74 @@ def garble_copies(
     tables = np.empty((k, schedule.n_non_free, 32), dtype=np.uint8)
     hash_one = kdf.hash
 
-    for level in schedule.levels:
+    levels = schedule.levels
+    fused = (
+        schedule.fused_narrow_runs(k, VECTOR_MIN_WIDTH) if fuse else {}
+    )
+    li = 0
+    n_levels = len(levels)
+    while li < n_levels:
+        seg = fused.get(li)
+        if seg is not None:
+            # fused multi-level scalar run: consecutive narrow levels
+            # (ripple-carry tails) as one pre-flattened gate loop.  The
+            # run computes on cached Python ints — chained wires never
+            # round-trip through the byte plane — and scatters labels
+            # and tables back in one assignment each at the end.
+            li, gates, out_wires, nf_tidx = seg
+            for i in range(k):
+                rows = plane[i]
+                dint = delta_ints[i]
+                cache: Dict[int, int] = {}
+                out_vals: List[int] = []
+                table_rows: List[bytes] = []
+                for a, b, out_w, tidx, ia, ib, io in gates:
+                    za = cache.get(a)
+                    if za is None:
+                        za = int.from_bytes(rows[a].tobytes(), "little")
+                        cache[a] = za
+                    zb = cache.get(b)
+                    if zb is None:
+                        zb = int.from_bytes(rows[b].tobytes(), "little")
+                        cache[b] = zb
+                    if tidx < 0:  # free gate; ia carries the inv flag
+                        out = za ^ zb ^ (dint if ia else 0)
+                        cache[out_w] = out
+                        out_vals.append(out)
+                        continue
+                    if ia:
+                        za ^= dint
+                    if ib:
+                        zb ^= dint
+                    tweak = tweak_base + 2 * tidx
+                    h_a0 = hash_one(za, tweak)
+                    h_a1 = hash_one(za ^ dint, tweak)
+                    h_b0 = hash_one(zb, tweak + 1)
+                    h_b1 = hash_one(zb ^ dint, tweak + 1)
+                    tg = h_a0 ^ h_a1 ^ (dint if zb & 1 else 0)
+                    wg = h_a0 ^ (tg if za & 1 else 0)
+                    te = h_b0 ^ h_b1 ^ za
+                    we = h_b0 ^ ((te ^ za) if zb & 1 else 0)
+                    zero_out = wg ^ we
+                    if io:
+                        zero_out ^= dint
+                    cache[out_w] = zero_out
+                    out_vals.append(zero_out)
+                    table_rows.append(
+                        tg.to_bytes(16, "little")
+                        + te.to_bytes(16, "little")
+                    )
+                rows[out_wires] = np.frombuffer(
+                    b"".join(v.to_bytes(16, "little") for v in out_vals),
+                    dtype=np.uint8,
+                ).reshape(-1, 16)
+                if table_rows:
+                    tables[i][nf_tidx] = np.frombuffer(
+                        b"".join(table_rows), dtype=np.uint8
+                    ).reshape(-1, 32)
+            continue
+        level = levels[li]
+        li += 1
         n_free = level.n_free
         if n_free and k * n_free >= VECTOR_MIN_WIDTH:
             # one gather-XOR-scatter covers XOR/XNOR/NOT/BUF: unary
@@ -389,15 +469,13 @@ class FastEvaluator(Evaluator):
         bob_labels: Sequence[int],
         state_labels: Optional[Sequence[int]] = None,
         tweak_base: Optional[int] = None,
+        fuse: bool = True,
     ) -> LabelPlane:
         circuit = self.circuit
         if len(alice_labels) != circuit.n_alice:
             raise GarblingError("wrong number of Alice labels")
         if len(bob_labels) != circuit.n_bob:
             raise GarblingError("wrong number of Bob labels")
-        state_labels = list(state_labels or [])
-        if len(state_labels) != circuit.n_state:
-            raise GarblingError("wrong number of state labels")
 
         schedule = circuit.level_schedule()
         plane = np.zeros((circuit.n_wires + 1, 16), dtype=np.uint8)
@@ -407,8 +485,7 @@ class FastEvaluator(Evaluator):
             plane[wire] = _label_row(label)
         for wire, label in zip(circuit.bob_inputs, bob_labels):
             plane[wire] = _label_row(label)
-        for wire, label in zip(circuit.state_inputs, state_labels):
-            plane[wire] = _label_row(label)
+        self._fill_state(plane, state_labels)
 
         table_plane = garbled.tables_plane
         if table_plane is None:
@@ -422,7 +499,54 @@ class FastEvaluator(Evaluator):
 
         kdf = self.kdf
         hash_one = kdf.hash
-        for level in schedule.levels:
+        levels = schedule.levels
+        fused = (
+            schedule.fused_narrow_runs(1, VECTOR_MIN_WIDTH) if fuse else {}
+        )
+        li = 0
+        n_levels = len(levels)
+        while li < n_levels:
+            seg = fused.get(li)
+            if seg is not None:
+                # fused run over consecutive narrow levels on cached
+                # ints (the evaluator ignores the garbler's inversion
+                # flags); one scatter writes the run's labels back
+                li, gates, out_wires, _nf_tidx = seg
+                cache: Dict[int, int] = {}
+                out_vals: List[int] = []
+                for a, b, out_w, tidx, _ia, _ib, _io in gates:
+                    wa_i = cache.get(a)
+                    if wa_i is None:
+                        wa_i = int.from_bytes(plane[a].tobytes(), "little")
+                        cache[a] = wa_i
+                    wb_i = cache.get(b)
+                    if wb_i is None:
+                        wb_i = int.from_bytes(plane[b].tobytes(), "little")
+                        cache[b] = wb_i
+                    if tidx < 0:
+                        out = wa_i ^ wb_i
+                        cache[out_w] = out
+                        out_vals.append(out)
+                        continue
+                    tweak = base + 2 * tidx
+                    row = table_plane[tidx]
+                    wg = hash_one(wa_i, tweak)
+                    if wa_i & 1:
+                        wg ^= int.from_bytes(row[:16].tobytes(), "little")
+                    we = hash_one(wb_i, tweak + 1)
+                    if wb_i & 1:
+                        te_i = int.from_bytes(row[16:].tobytes(), "little")
+                        we ^= te_i ^ wa_i
+                    out = wg ^ we
+                    cache[out_w] = out
+                    out_vals.append(out)
+                plane[out_wires] = np.frombuffer(
+                    b"".join(v.to_bytes(16, "little") for v in out_vals),
+                    dtype=np.uint8,
+                ).reshape(-1, 16)
+                continue
+            level = levels[li]
+            li += 1
             n_free = level.n_free
             if n_free and n_free >= VECTOR_MIN_WIDTH:
                 # the evaluator's free gates are pure label XOR (XNOR's
@@ -468,3 +592,230 @@ class FastEvaluator(Evaluator):
                         we ^= te_i ^ wa_i
                     plane[out_w] = _label_row(wg ^ we)
         return LabelPlane(plane, circuit.n_wires)
+
+    def _fill_state(self, plane: np.ndarray, state_labels) -> None:
+        """Write carried-over state labels into a plane.
+
+        Accepts the int sequence of the scalar contract or an
+        ``(n_state, 16)`` uint8 row array (the folded session's carry
+        form — one array copy instead of per-register conversions).
+        """
+        circuit = self.circuit
+        if state_labels is None:
+            if circuit.n_state:
+                raise GarblingError("wrong number of state labels")
+            return
+        if isinstance(state_labels, np.ndarray):
+            if len(state_labels) != circuit.n_state:
+                raise GarblingError("wrong number of state labels")
+            if circuit.n_state:
+                plane[list(circuit.state_inputs)] = state_labels
+            return
+        state_labels = list(state_labels)
+        if len(state_labels) != circuit.n_state:
+            raise GarblingError("wrong number of state labels")
+        for wire, label in zip(circuit.state_inputs, state_labels):
+            plane[wire] = _label_row(label)
+
+    def evaluate_many(
+        self,
+        garbleds: Sequence[GarbledCircuit],
+        alice_labels: Sequence[Sequence[int]],
+        bob_labels: Sequence[Sequence[int]],
+        tweak_base: Optional[int] = None,
+        fuse: bool = True,
+    ) -> List[LabelPlane]:
+        """Evaluate ``k`` independently garbled requests in one pass.
+
+        The online-side mirror of :func:`garble_copies`: all requests'
+        labels live in one ``(k, n_wires + 1, 16)`` plane and the level
+        schedule is walked once, so per-level Python dispatch amortizes
+        across the batch, every level's KDF rows across all requests
+        join into a single batch, and levels too narrow to vectorize for
+        one request (``m < VECTOR_MIN_WIDTH``) become wide once ``k * m``
+        clears the threshold.  This is what serves concurrent traffic —
+        ``PrivateInferenceService.infer_many`` routes same-circuit
+        requests here instead of running ``k`` scalar evaluations on a
+        thread pool.
+
+        Args:
+            garbleds: one garbled circuit per request (each with its own
+                tables and labels; all must share one tweak base).
+            alice_labels / bob_labels: per-request input labels.
+            tweak_base: override the (shared) tweak counter.
+            fuse: collapse consecutive narrow levels (see
+                :meth:`evaluate`).
+
+        Returns:
+            One :class:`LabelPlane` per request, in request order; each
+            is bit-identical to a scalar :meth:`evaluate` of the same
+            request.
+        """
+        circuit = self.circuit
+        k = len(garbleds)
+        if k == 0:
+            return []
+        if len(alice_labels) != k or len(bob_labels) != k:
+            raise GarblingError("evaluate_many needs labels for every copy")
+        if circuit.n_state:
+            raise GarblingError(
+                "evaluate_many serves combinational requests; sequential "
+                "state belongs to SequentialSession"
+            )
+
+        schedule = circuit.level_schedule()
+        planes = np.zeros((k, circuit.n_wires + 1, 16), dtype=np.uint8)
+        table_planes = []
+        base: Optional[int] = None
+        for i, garbled in enumerate(garbleds):
+            tb = garbled.tweak_base if tweak_base is None else tweak_base
+            if base is None:
+                base = tb
+            elif tb != base:
+                raise GarblingError(
+                    "evaluate_many needs a uniform tweak base across copies"
+                )
+            if len(alice_labels[i]) != circuit.n_alice:
+                raise GarblingError("wrong number of Alice labels")
+            if len(bob_labels[i]) != circuit.n_bob:
+                raise GarblingError("wrong number of Bob labels")
+            plane = planes[i]
+            plane[CONST_ZERO] = _label_row(garbled.const_labels[0])
+            plane[CONST_ONE] = _label_row(garbled.const_labels[1])
+            for wire, label in zip(circuit.alice_inputs, alice_labels[i]):
+                plane[wire] = _label_row(label)
+            for wire, label in zip(circuit.bob_inputs, bob_labels[i]):
+                plane[wire] = _label_row(label)
+            table_plane = garbled.tables_plane
+            if table_plane is None:
+                blob = garbled.tables_bytes()
+                table_plane = np.frombuffer(
+                    blob, dtype=np.uint8
+                ).reshape(-1, 32)
+            if len(table_plane) < schedule.n_non_free:
+                raise GarblingError("ran out of garbled tables")
+            table_planes.append(
+                np.asarray(table_plane)[: schedule.n_non_free]
+            )
+        tables = (
+            np.stack(table_planes)
+            if k > 1
+            else table_planes[0][None]
+        )
+        tg_all = tables[:, :, :16]
+        te_all = tables[:, :, 16:]
+
+        kdf = self.kdf
+        hash_one = kdf.hash
+        levels = schedule.levels
+        fused = (
+            schedule.fused_narrow_runs(k, VECTOR_MIN_WIDTH) if fuse else {}
+        )
+        li = 0
+        n_levels = len(levels)
+        while li < n_levels:
+            seg = fused.get(li)
+            if seg is not None:
+                li, gates, out_wires, _nf_tidx = seg
+                for i in range(k):
+                    rows = planes[i]
+                    copy_tables = tables[i]
+                    cache: Dict[int, int] = {}
+                    out_vals: List[int] = []
+                    for a, b, out_w, tidx, _ia, _ib, _io in gates:
+                        wa_i = cache.get(a)
+                        if wa_i is None:
+                            wa_i = int.from_bytes(
+                                rows[a].tobytes(), "little"
+                            )
+                            cache[a] = wa_i
+                        wb_i = cache.get(b)
+                        if wb_i is None:
+                            wb_i = int.from_bytes(
+                                rows[b].tobytes(), "little"
+                            )
+                            cache[b] = wb_i
+                        if tidx < 0:
+                            out = wa_i ^ wb_i
+                            cache[out_w] = out
+                            out_vals.append(out)
+                            continue
+                        tweak = base + 2 * tidx
+                        row = copy_tables[tidx]
+                        wg = hash_one(wa_i, tweak)
+                        if wa_i & 1:
+                            wg ^= int.from_bytes(
+                                row[:16].tobytes(), "little"
+                            )
+                        we = hash_one(wb_i, tweak + 1)
+                        if wb_i & 1:
+                            te_i = int.from_bytes(
+                                row[16:].tobytes(), "little"
+                            )
+                            we ^= te_i ^ wa_i
+                        out = wg ^ we
+                        cache[out_w] = out
+                        out_vals.append(out)
+                    rows[out_wires] = np.frombuffer(
+                        b"".join(
+                            v.to_bytes(16, "little") for v in out_vals
+                        ),
+                        dtype=np.uint8,
+                    ).reshape(-1, 16)
+                continue
+            level = levels[li]
+            li += 1
+            n_free = level.n_free
+            if n_free and k * n_free >= VECTOR_MIN_WIDTH:
+                planes[:, level.free_out] = (
+                    planes[:, level.free_a] ^ planes[:, level.free_b]
+                )
+            elif n_free:
+                for i in range(k):
+                    rows = planes[i]
+                    for a, b, out_w, _ in level.free_gates:
+                        rows[out_w] = rows[a] ^ rows[b]
+            m = level.n_non_free
+            if m and k * m >= VECTOR_MIN_WIDTH:
+                wa = planes[:, level.nf_a]  # (k, m, 16)
+                wb = planes[:, level.nf_b]
+                sa = wa[..., 0:1] & 1
+                sb = wb[..., 0:1] & 1
+                n = k * m
+                rows = np.empty((2 * n, 24), dtype=np.uint8)
+                rows[:n, :16] = wa.reshape(n, 16)
+                rows[n:, :16] = wb.reshape(n, 16)
+                tw_a, tw_b = _level_tweaks(level, base)
+                if k > 1:
+                    tw_a = np.broadcast_to(tw_a, (k, m, 8)).reshape(n, 8)
+                    tw_b = np.broadcast_to(tw_b, (k, m, 8)).reshape(n, 8)
+                rows[:n, 16:] = tw_a
+                rows[n:, 16:] = tw_b
+                h = _hash_many(kdf, rows)
+                h_a = h[:n].reshape(k, m, 16)
+                h_b = h[n:].reshape(k, m, 16)
+                tg = tg_all[:, level.nf_tidx]
+                te = te_all[:, level.nf_tidx]
+                wg = h_a ^ tg * sa
+                we = h_b ^ (te ^ wa) * sb
+                planes[:, level.nf_out] = wg ^ we
+            elif m:
+                for i in range(k):
+                    rows_i = planes[i]
+                    copy_tables = tables[i]
+                    for a, b, out_w, tidx, _ia, _ib, _io in level.nf_gates:
+                        wa_i = int.from_bytes(rows_i[a].tobytes(), "little")
+                        wb_i = int.from_bytes(rows_i[b].tobytes(), "little")
+                        tweak = base + 2 * tidx
+                        row = copy_tables[tidx]
+                        wg = hash_one(wa_i, tweak)
+                        if wa_i & 1:
+                            wg ^= int.from_bytes(row[:16].tobytes(), "little")
+                        we = hash_one(wb_i, tweak + 1)
+                        if wb_i & 1:
+                            te_i = int.from_bytes(
+                                row[16:].tobytes(), "little"
+                            )
+                            we ^= te_i ^ wa_i
+                        rows_i[out_w] = _label_row(wg ^ we)
+        return [LabelPlane(planes[i], circuit.n_wires) for i in range(k)]

@@ -193,3 +193,29 @@ class ArrayLabelStore:
     def mark_defined(self, wires: np.ndarray) -> None:
         """Bulk defined-flag update after a vectorized scatter."""
         self._defined[wires] = True
+
+    def zero_rows(self, wires) -> np.ndarray:
+        """Zero-label byte rows of ``wires`` as one owned ``(n, 16)`` copy.
+
+        The array form of sequential state carry-over: the folded
+        session hands these rows straight to the next cycle's garbling
+        instead of round-tripping every register label through Python
+        ints.
+        """
+        idx = np.asarray(wires, dtype=np.intp)
+        if idx.size:
+            if (idx < 0).any() or (idx >= self.n_wires).any():
+                raise GarblingError("zero_rows wire out of range")
+            if not self._defined[idx].all():
+                raise GarblingError("zero_rows on wires without labels")
+        return self.plane[idx].copy()
+
+    def set_zero_rows(self, wires, rows: np.ndarray) -> None:
+        """Store caller-provided zero-label rows (array state carry)."""
+        idx = np.asarray(wires, dtype=np.intp)
+        if idx.size and not ((0 <= idx).all() and (idx < self.n_wires).all()):
+            raise GarblingError("set_zero_rows wire out of range")
+        if rows.shape != (idx.size, 16):
+            raise GarblingError("label rows must be (n_wires, 16) bytes")
+        self.plane[idx] = rows
+        self._defined[idx] = True

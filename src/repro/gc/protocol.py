@@ -202,6 +202,173 @@ class TwoPartySession:
             for garbler, garbled in copies
         ]
 
+    def run_many(
+        self,
+        alice_bits_list: Sequence[Sequence[int]],
+        bob_bits_list: Sequence[Sequence[int]],
+        pregarbled: Optional[Sequence[Optional[Pregarbled]]] = None,
+    ) -> List[ProtocolResult]:
+        """Serve ``k`` requests through one batched evaluation pass.
+
+        The throughput form of :meth:`run`: garbling for slots without
+        pre-garbled material happens in one :func:`garble_many` pass,
+        transfer and OT stay per request (every copy has its own
+        labels), and evaluation pushes all ``k`` label planes through a
+        single walk of the level schedule
+        (:meth:`repro.gc.fastgarble.FastEvaluator.evaluate_many`)
+        instead of ``k`` independent scalar runs.  Outputs are identical
+        to ``k`` :meth:`run` calls on the same material.
+
+        Args:
+            alice_bits_list: per-request client input bits.
+            bob_bits_list: per-request server input bits (same length).
+            pregarbled: optional per-request offline material; ``None``
+                slots are garbled fresh in one batch.
+
+        Returns:
+            One :class:`ProtocolResult` per request, in request order.
+            The batched phases (garble, evaluate) report per-request
+            shares of the batch wall time.
+        """
+        k = len(alice_bits_list)
+        if len(bob_bits_list) != k:
+            raise ProtocolError("run_many input list length mismatch")
+        slots: List[Optional[Pregarbled]] = (
+            list(pregarbled) if pregarbled is not None else [None] * k
+        )
+        if len(slots) != k:
+            raise ProtocolError("run_many pregarbled list length mismatch")
+        if k == 0:
+            return []
+        if not self.vectorized:
+            # the scalar reference has no batch evaluator; fall back to
+            # request-at-a-time runs (same results, no amortization)
+            return [
+                self.run(a, b, pregarbled=s)
+                for a, b, s in zip(alice_bits_list, bob_bits_list, slots)
+            ]
+
+        circuit = self.circuit
+        # the batch shares one evaluator, so every copy must have been
+        # garbled under one oracle (run() follows the per-slot garbler's
+        # kdf; a mix cannot be honored here).  Equivalence is probed
+        # functionally — distinct instances of the same oracle (or a
+        # ParallelKDF wrapper around it) are compatible — and checked
+        # BEFORE claiming, so a rejected batch burns no single-use
+        # pre-garbled material.
+        eval_kdf = next(
+            (s.garbler.kdf for s in slots if s is not None),
+            self.kdf or default_kdf(),
+        )
+        probe = eval_kdf.hash(3, 7)
+        candidates = [s.garbler.kdf for s in slots if s is not None]
+        if any(s is None for s in slots):
+            candidates.append(self.kdf or default_kdf())
+        for kdf in candidates:
+            if kdf is not eval_kdf and kdf.hash(3, 7) != probe:
+                raise ProtocolError(
+                    "run_many needs one garbling oracle across the "
+                    "batch; pregarbled material was garbled under a "
+                    "different kdf"
+                )
+
+        # (i) garbling: claim offline material, batch-garble the rest
+        material: List[Optional[Tuple[Garbler, GarbledCircuit]]] = [None] * k
+        garble_s = [0.0] * k
+        for i, slot in enumerate(slots):
+            if slot is None:
+                continue
+            if slot.circuit is not circuit:
+                raise ProtocolError(
+                    "pregarbled material is for a different circuit"
+                )
+            slot.claim()
+            material[i] = (slot.garbler, slot.garbled)
+        missing = [i for i, m in enumerate(material) if m is None]
+        if missing:
+            start = time.perf_counter()
+            fresh = garble_many(
+                circuit, len(missing), kdf=self.kdf, rng=self.rng
+            )
+            per_copy = (time.perf_counter() - start) / len(missing)
+            for i, pair in zip(missing, fresh):
+                material[i] = pair
+                garble_s[i] = per_copy
+
+        # (ii) transfer + OT, per request over its own accounted channel
+        per_request = []
+        garbled_views = []
+        alice_label_lists = []
+        bob_label_lists = []
+        for i in range(k):
+            garbler, garbled = material[i]
+            alice_end, bob_end, stats = make_channel_pair()
+            start = time.perf_counter()
+            alice_end.send_bytes(garbled.tables_bytes(), tag="tables")
+            alice_end.send_labels(
+                list(garbled.const_labels), tag="const_labels"
+            )
+            alice_end.send_labels(
+                garbler.input_labels_for(
+                    list(circuit.alice_inputs), list(alice_bits_list[i])
+                ),
+                tag="alice_labels",
+            )
+            tables_blob = bob_end.recv_bytes()
+            bob_end.recv_labels()  # const labels travel inside the view
+            alice_labels = bob_end.recv_labels()
+            transfer_s = time.perf_counter() - start
+            start = time.perf_counter()
+            bob_labels = self._oblivious_transfer(
+                garbler, list(circuit.bob_inputs), list(bob_bits_list[i]),
+                stats,
+            )
+            ot_s = time.perf_counter() - start
+            garbled_views.append(self._parse_tables(tables_blob, garbled))
+            alice_label_lists.append(alice_labels)
+            bob_label_lists.append(bob_labels)
+            per_request.append(
+                (garbler, alice_end, bob_end, stats, transfer_s, ot_s)
+            )
+
+        # (iii) batched evaluation — one schedule pass for all requests
+        evaluator = FastEvaluator(circuit, kdf=eval_kdf)
+        start = time.perf_counter()
+        planes = evaluator.evaluate_many(
+            garbled_views, alice_label_lists, bob_label_lists
+        )
+        evaluate_per_request = (time.perf_counter() - start) / k
+
+        # (iv) merge per request
+        counts = circuit.counts()
+        results: List[ProtocolResult] = []
+        for i in range(k):
+            garbler, alice_end, bob_end, stats, transfer_s, ot_s = (
+                per_request[i]
+            )
+            start = time.perf_counter()
+            bob_end.send_labels(
+                evaluator.output_labels(planes[i]), tag="output_labels"
+            )
+            outputs = garbler.decode_outputs(alice_end.recv_labels())
+            merge_s = time.perf_counter() - start
+            results.append(
+                ProtocolResult(
+                    outputs=outputs,
+                    times={
+                        "garble": garble_s[i],
+                        "transfer": transfer_s,
+                        "ot": ot_s,
+                        "evaluate": evaluate_per_request,
+                        "merge": merge_s,
+                    },
+                    comm=stats.by_tag(),
+                    n_xor=counts.xor,
+                    n_non_xor=counts.non_xor,
+                )
+            )
+        return results
+
     def run(
         self,
         alice_bits: Sequence[int],

@@ -6,10 +6,20 @@ cycle ``i`` becomes the zero-label of its q-wire at cycle ``i+1``, so no
 extra transfer or re-keying is needed for state.  Tweaks advance across
 cycles so the garbling oracle is never reused.
 
-This is also where the paper's Fig. 5 pipeline lives: while Bob evaluates
-cycle ``i``, Alice can already garble cycle ``i+1``.  The session records
-per-cycle garble/evaluate durations; :mod:`repro.analysis.timeline` turns
-them into the overlapped schedule.
+The session runs on the vectorized engine by default: one
+:class:`repro.gc.labels.ArrayLabelStore` plane is carried across every
+cycle (the register d-wire -> q-wire label handoff stays an array copy on
+both sides), and each cycle's garble/evaluate goes through the
+level-scheduled path.  Bit-exact with the scalar reference — the same
+rng stream yields byte-identical tables and outputs either way.
+
+This is also where the paper's Fig. 5 pipeline lives: with
+``pipelined=True``, Alice garbles cycle ``i+1`` on a worker thread while
+Bob evaluates cycle ``i``.  The garble -> OT -> garble ordering of rng
+draws is preserved (the next garble only launches after the current
+cycle's OT), so the pipelined run stays bit-exact too.  The session
+records per-cycle garble/evaluate durations;
+:mod:`repro.analysis.timeline` turns them into the overlapped schedule.
 """
 
 from __future__ import annotations
@@ -17,15 +27,19 @@ from __future__ import annotations
 import dataclasses
 import secrets
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..circuits.sequential import SequentialCircuit
-from ..errors import ProtocolError
+from ..errors import GarblingError, ProtocolError
 from .channel import make_channel_pair
 from .cipher import HashKDF, default_kdf
 from .evaluate import Evaluator
-from .garble import Garbler
-from .labels import LabelStore
+from .fastgarble import FastEvaluator
+from .garble import Garbler, GarbledCircuit, GarbledGate, LazyTables
+from .labels import ArrayLabelStore, LabelStore
 from .ot import MODP_2048, OTGroup
 from .ot_extension import extension_ot
 
@@ -57,7 +71,21 @@ class SequentialResult:
 
 
 class SequentialSession:
-    """Garble/evaluate a :class:`SequentialCircuit` for many cycles."""
+    """Garble/evaluate a :class:`SequentialCircuit` for many cycles.
+
+    Args:
+        sequential: the folded circuit (core + register bindings).
+        kdf: garbling oracle shared by both parties.
+        ot_group: group for base OTs.
+        rng: randomness source for labels and OT.
+        vectorized: carry an :class:`ArrayLabelStore` plane across cycles
+            and run each cycle through the level-scheduled engine
+            (default; bit-exact with the scalar path).
+        pipelined: overlap garbling of cycle ``i+1`` with evaluation of
+            cycle ``i`` on a worker thread (paper Fig. 5).  Bit-exact
+            with the unpipelined run; wall-clock only wins with spare
+            cores.
+    """
 
     def __init__(
         self,
@@ -65,11 +93,15 @@ class SequentialSession:
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
         rng=secrets,
+        vectorized: bool = True,
+        pipelined: bool = False,
     ) -> None:
         self.sequential = sequential
         self.kdf = kdf or default_kdf()
         self.ot_group = ot_group
         self.rng = rng
+        self.vectorized = bool(vectorized)
+        self.pipelined = bool(pipelined)
 
     def run(
         self,
@@ -87,87 +119,164 @@ class SequentialSession:
         core = seq.core
         n_cycles = cycles or max(len(alice_cycles), len(bob_cycles), 1)
         alice_end, bob_end, stats = make_channel_pair()
+        vectorized = self.vectorized
 
-        garbler_store = LabelStore(rng=self.rng)
-        evaluator = Evaluator(core, kdf=self.kdf)
+        store = (
+            ArrayLabelStore(core.n_wires, rng=self.rng)
+            if vectorized
+            else LabelStore(rng=self.rng)
+        )
+        evaluator = (FastEvaluator if vectorized else Evaluator)(
+            core, kdf=self.kdf
+        )
         garble_times: List[float] = []
         evaluate_times: List[float] = []
         outputs: List[List[int]] = []
 
-        # cycle-0 state: init bits are public, so the garbler simply sends
-        # the labels of the init values
-        garbler_state_zero: Optional[List[int]] = None
-        eval_state_labels: Optional[List[int]] = None
-        tweak = 0
         d_wires = [reg.d_wire for reg in seq.registers]
         init_bits = seq.initial_state()
+        alice_wires = list(core.alice_inputs)
+        bob_wires = list(core.bob_inputs)
 
-        for cycle in range(n_cycles):
-            alice_bits = SequentialCircuit._cycle_input(
-                alice_cycles, cycle, core.n_alice
-            )
-            bob_bits = SequentialCircuit._cycle_input(
-                bob_cycles, cycle, core.n_bob
-            )
+        def cycle_bits(per_cycle, cycle, width):
+            return SequentialCircuit._cycle_input(per_cycle, cycle, width)
 
+        def garble_cycle(cycle: int, state_zero, tweak: int) -> dict:
+            """Garble one cycle and snapshot everything later phases need.
+
+            The next cycle's garbling reuses (and overwrites) the same
+            label store, so when pipelined the rest of cycle ``i`` must
+            never touch the store again — labels for transfer/OT, the
+            output decode material and the register carry rows are all
+            captured here.
+            """
+            alice_bits = cycle_bits(alice_cycles, cycle, core.n_alice)
             start = time.perf_counter()
             garbler = Garbler(
-                core, kdf=self.kdf, label_store=garbler_store, rng=self.rng
+                core, kdf=self.kdf, label_store=store, rng=self.rng
             )
             garbled = garbler.garble(
-                state_zero_labels=garbler_state_zero, tweak_base=tweak
+                state_zero_labels=state_zero, tweak_base=tweak
             )
+            took = time.perf_counter() - start
+            pkg = {
+                "tables_blob": garbled.tables_bytes(),
+                "const_labels": list(garbled.const_labels),
+                "alice_labels": garbler.input_labels_for(
+                    alice_wires, alice_bits
+                ),
+                "bob_pairs": [
+                    garbler.wire_label_pair(w) for w in bob_wires
+                ],
+                "out_zero": [store.zero(w) for w in core.outputs],
+                "delta": store.delta,
+                "next_state_zero": (
+                    store.zero_rows(d_wires)
+                    if vectorized
+                    else garbler.state_zero_labels_out(d_wires)
+                ),
+                "n_tables": len(garbled.tables),
+                "tweak": tweak,
+                "garble_s": took,
+            }
             if cycle == 0:
-                eval_state_labels = [
-                    garbler_store.select(wire, bit)
+                # cycle-0 state: init bits are public, so the garbler
+                # simply sends the labels of the init values
+                pkg["init_state_labels"] = [
+                    store.select(wire, bit)
                     for wire, bit in zip(core.state_inputs, init_bits)
                 ]
-            garble_times.append(time.perf_counter() - start)
+            return pkg
 
-            # transfer: tables + Alice labels (every cycle), OT for Bob
-            alice_end.send_bytes(garbled.tables_bytes(), tag="tables")
-            alice_end.send_labels(list(garbled.const_labels), tag="const_labels")
-            alice_end.send_labels(
-                garbler.input_labels_for(list(core.alice_inputs), alice_bits),
-                tag="alice_labels",
+        executor = (
+            ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="seq-garble"
             )
-            blob = bob_end.recv_bytes()
-            const_labels = bob_end.recv_labels()
-            alice_labels = bob_end.recv_labels()
-            bob_labels = self._oblivious_transfer(
-                garbler, list(core.bob_inputs), bob_bits, stats
-            )
+            if self.pipelined and n_cycles > 1
+            else None
+        )
+        try:
+            eval_state = None
+            pkg = garble_cycle(0, None, 0)
+            pending = None
+            for cycle in range(n_cycles):
+                if pending is not None:
+                    pkg = (
+                        pending.result()
+                        if executor is not None
+                        else garble_cycle(*pending)
+                    )
+                    pending = None
+                garble_times.append(pkg["garble_s"])
+                if cycle == 0:
+                    eval_state = pkg["init_state_labels"]
+                bob_bits = cycle_bits(bob_cycles, cycle, core.n_bob)
 
-            start = time.perf_counter()
-            from .garble import GarbledCircuit, GarbledGate
+                # transfer: tables + Alice labels (every cycle), OT for Bob
+                alice_end.send_bytes(pkg["tables_blob"], tag="tables")
+                alice_end.send_labels(
+                    pkg["const_labels"], tag="const_labels"
+                )
+                alice_end.send_labels(
+                    pkg["alice_labels"], tag="alice_labels"
+                )
+                blob = bob_end.recv_bytes()
+                const_labels = bob_end.recv_labels()
+                alice_labels = bob_end.recv_labels()
+                bob_labels = self._oblivious_transfer(
+                    pkg["bob_pairs"], bob_bits, stats
+                )
 
-            received = GarbledCircuit(
-                tables=[
-                    GarbledGate.from_bytes(blob[i : i + 32])
-                    for i in range(0, len(blob), 32)
-                ],
-                const_labels=(const_labels[0], const_labels[1]),
-                decode_bits=[],
-                tweak_base=tweak,
-            )
-            wire_labels = evaluator.evaluate(
-                received,
-                alice_labels,
-                bob_labels,
-                state_labels=eval_state_labels,
-            )
-            evaluate_times.append(time.perf_counter() - start)
+                # this cycle's rng draws (labels, OT) are done — cycle
+                # i+1 may garble now, overlapping Bob's evaluation
+                # (Fig. 5) without disturbing the shared rng stream
+                if cycle + 1 < n_cycles:
+                    args = (
+                        cycle + 1,
+                        pkg["next_state_zero"],
+                        pkg["tweak"] + 2 * pkg["n_tables"],
+                    )
+                    pending = (
+                        executor.submit(garble_cycle, *args)
+                        if executor is not None
+                        else args
+                    )
 
-            # merge step for this cycle's outputs
-            bob_end.send_labels(
-                evaluator.output_labels(wire_labels), tag="output_labels"
-            )
-            outputs.append(garbler.decode_outputs(alice_end.recv_labels()))
+                start = time.perf_counter()
+                received = self._received_circuit(
+                    blob, const_labels, pkg["tweak"]
+                )
+                wire_labels = evaluator.evaluate(
+                    received,
+                    alice_labels,
+                    bob_labels,
+                    state_labels=eval_state,
+                )
+                evaluate_times.append(time.perf_counter() - start)
 
-            # carry register labels into the next cycle
-            garbler_state_zero = garbler.state_zero_labels_out(d_wires)
-            eval_state_labels = [wire_labels[w] for w in d_wires]
-            tweak += 2 * len(garbled.tables)
+                # merge step for this cycle's outputs (decoded against
+                # the snapshot — the live store may already hold cycle
+                # i+1's labels)
+                bob_end.send_labels(
+                    evaluator.output_labels(wire_labels),
+                    tag="output_labels",
+                )
+                outputs.append(
+                    self._decode_outputs(
+                        alice_end.recv_labels(),
+                        pkg["out_zero"],
+                        pkg["delta"],
+                    )
+                )
+
+                # carry register labels into the next cycle
+                if vectorized:
+                    eval_state = wire_labels.plane[d_wires]
+                else:
+                    eval_state = [wire_labels[w] for w in d_wires]
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
 
         return SequentialResult(
             outputs_per_cycle=outputs,
@@ -177,19 +286,57 @@ class SequentialSession:
             n_non_xor_per_cycle=core.counts().non_xor,
         )
 
-    def _oblivious_transfer(self, garbler, wires, bits, stats) -> List[int]:
-        if len(wires) != len(bits):
-            raise ProtocolError("Bob's input width mismatch")
-        if not wires:
-            return []
-        pairs = []
-        for wire in wires:
-            zero, one = garbler.wire_label_pair(wire)
-            pairs.append(
-                (zero.to_bytes(16, "little"), one.to_bytes(16, "little"))
+    def _received_circuit(
+        self, blob: bytes, const_labels: List[int], tweak: int
+    ) -> GarbledCircuit:
+        """Bob's view of one cycle's garbled material."""
+        if self.vectorized:
+            plane = np.frombuffer(blob, dtype=np.uint8).reshape(-1, 32)
+            return GarbledCircuit(
+                tables=LazyTables(plane),
+                const_labels=(const_labels[0], const_labels[1]),
+                decode_bits=[],
+                tweak_base=tweak,
+                tables_plane=plane,
             )
+        return GarbledCircuit(
+            tables=[
+                GarbledGate.from_bytes(blob[i : i + 32])
+                for i in range(0, len(blob), 32)
+            ],
+            const_labels=(const_labels[0], const_labels[1]),
+            decode_bits=[],
+            tweak_base=tweak,
+        )
+
+    @staticmethod
+    def _decode_outputs(
+        labels: Sequence[int], out_zero: Sequence[int], delta: int
+    ) -> List[int]:
+        """Merge-step decode against a cycle's snapshot of zero-labels."""
+        if len(labels) != len(out_zero):
+            raise GarblingError("wrong number of output labels")
+        bits = []
+        for label, zero in zip(labels, out_zero):
+            if label == zero:
+                bits.append(0)
+            elif label == zero ^ delta:
+                bits.append(1)
+            else:
+                raise GarblingError("label does not belong to an output wire")
+        return bits
+
+    def _oblivious_transfer(self, pairs, bits, stats) -> List[int]:
+        if len(pairs) != len(bits):
+            raise ProtocolError("Bob's input width mismatch")
+        if not pairs:
+            return []
+        byte_pairs = [
+            (zero.to_bytes(16, "little"), one.to_bytes(16, "little"))
+            for zero, one in pairs
+        ]
         chosen, transferred = extension_ot(
-            pairs, bits, group=self.ot_group, rng=self.rng
+            byte_pairs, bits, group=self.ot_group, rng=self.rng
         )
         stats.record("a2b", "ot", transferred)
         return [int.from_bytes(data, "little") for data in chosen]

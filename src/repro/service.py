@@ -155,6 +155,10 @@ class PrivateInferenceService:
         if config.output != "argmax":
             raise CompileError("the service API serves labels (argmax)")
         self.config = config
+        # one oracle instance for the whole service: when kdf_workers > 1
+        # this is a ParallelKDF whose worker pool the pool, backends and
+        # sessions all share
+        self._kdf = config.effective_kdf()
         self.quantized = QuantizedModel(
             model, config.fmt, activation_variant=config.activation
         )
@@ -221,11 +225,12 @@ class PrivateInferenceService:
         return PregarbledPool(
             self.compiled.circuit,
             capacity=capacity,
-            kdf=self.config.kdf,
+            kdf=self._kdf,
             ot_group=self.config.ot_group,
             rng=self.config.rng,
             vectorized=self.config.vectorized,
             refill=self.config.pool_refill,
+            low_watermark=self.config.pool_low_watermark,
         )
 
     @property
@@ -291,7 +296,7 @@ class PrivateInferenceService:
             backend = self._backends.get(name)
             if backend is None:
                 options = dict(
-                    kdf=self.config.kdf,
+                    kdf=self._kdf,
                     ot_group=self.config.ot_group,
                     rng=self.config.rng,
                     vectorized=self.config.vectorized,
@@ -303,6 +308,34 @@ class PrivateInferenceService:
                 backend = get_backend(name, **options)
                 self._backends[name] = backend
         return backend
+
+    def _record_result(
+        self, request: InferenceRequest, result: ExecutionResult
+    ) -> InferenceResult:
+        """Turn an execution outcome into a served record (locked stats)."""
+        record = InferenceResult(
+            label=self.compiled.decode_output(result.outputs),
+            comm_bytes=result.comm_bytes,
+            times=dict(result.times),
+            n_non_xor=result.n_non_xor,
+            backend=result.backend,
+            request_id=request.request_id,
+            pregarbled=bool(result.metadata.get("pregarbled", False)),
+        )
+        with self._lock:
+            self._history.append(record)
+            self._stats["requests"] += 1
+            if record.pregarbled:
+                self._stats["pregarbled"] += 1
+            by_backend = self._stats["by_backend"]
+            by_backend[record.backend] = by_backend.get(record.backend, 0) + 1
+        return record
+
+    def _record_error(self) -> None:
+        """Count one failed request (locked)."""
+        with self._lock:
+            self._stats["requests"] += 1
+            self._stats["errors"] += 1
 
     def execute(self, request: InferenceRequest) -> InferenceResult:
         """Serve one typed request through the configured engine.
@@ -321,27 +354,9 @@ class PrivateInferenceService:
                 self._server_bits,
             )
         except Exception:
-            with self._lock:
-                self._stats["requests"] += 1
-                self._stats["errors"] += 1
+            self._record_error()
             raise
-        record = InferenceResult(
-            label=self.compiled.decode_output(result.outputs),
-            comm_bytes=result.comm_bytes,
-            times=dict(result.times),
-            n_non_xor=result.n_non_xor,
-            backend=result.backend,
-            request_id=request.request_id,
-            pregarbled=bool(result.metadata.get("pregarbled", False)),
-        )
-        with self._lock:
-            self._history.append(record)
-            self._stats["requests"] += 1
-            if record.pregarbled:
-                self._stats["pregarbled"] += 1
-            by_backend = self._stats["by_backend"]
-            by_backend[record.backend] = by_backend.get(record.backend, 0) + 1
-        return record
+        return self._record_result(request, result)
 
     def infer(
         self,
@@ -377,19 +392,95 @@ class PrivateInferenceService:
             )
         )
 
+    def _infer_batched(
+        self,
+        normalized: List[InferenceRequest],
+        outcomes: List[Optional[InferenceResult]],
+        errors: List[tuple],
+        force: bool,
+    ) -> List[int]:
+        """Serve eligible requests through one batched evaluation pass.
+
+        Requests targeting the (vectorized) two-party backend are pushed
+        through ``TwoPartyBackend.run_many`` — one ``garble_many`` pass
+        for pool misses and one ``evaluate_many`` schedule walk for the
+        whole group — instead of per-request scalar protocol runs.
+        Fills ``outcomes``/``errors`` in place for the requests it
+        handles and returns the indices still pending (non-two-party
+        requests, or the whole group when batching is unavailable or the
+        batched run itself fails — per-request isolation then falls back
+        to the scalar path).
+        """
+        n = len(normalized)
+        everything = list(range(n))
+        if not self.config.vectorized:
+            return everything
+        eligible = [
+            i for i, r in enumerate(normalized)
+            if (r.backend or self.config.backend) == "two_party"
+        ]
+        if len(eligible) < (1 if force else 2):
+            return everything
+        backend = self._backend("two_party")
+        run_many = getattr(backend, "run_many", None)
+        if run_many is None:
+            return everything
+        eligible_set = set(eligible)
+        pending = [i for i in everything if i not in eligible_set]
+        bits: List[List[int]] = []
+        good: List[int] = []
+        for i in eligible:
+            try:
+                bits.append(
+                    self.compiled.client_bits(
+                        np.asarray(normalized[i].sample)
+                    )
+                )
+                good.append(i)
+            except Exception as exc:  # isolate malformed samples
+                self._record_error()
+                errors.append((i, exc))
+        if good:
+            try:
+                results = run_many(
+                    self.compiled.circuit, bits, self._server_bits
+                )
+            except Exception:
+                # a batch-level failure must not fail every request in
+                # it: retry the group request-at-a-time on the scalar
+                # path, where errors isolate per request
+                pending.extend(good)
+                pending.sort()
+            else:
+                for i, result in zip(good, results):
+                    outcomes[i] = self._record_result(normalized[i], result)
+        return pending
+
     def infer_many(
         self,
         requests: Sequence[Union[InferenceRequest, np.ndarray]],
         max_workers: int = 4,
         return_errors: bool = False,
+        batch: Optional[bool] = None,
     ) -> List[InferenceResult]:
-        """Serve a batch of requests concurrently (thread pool).
+        """Serve a batch of requests concurrently.
 
         GC gives no per-sample batching discount (Fig. 6's point), but
-        independent protocol runs parallelize across cores/connections;
-        with a warm pre-garbled pool the per-request online path is
-        transfer + OT + evaluate + merge only.  Results come back in
-        request order.
+        the *engine* work batches: requests served by the vectorized
+        two-party backend share one ``evaluate_many`` pass over the
+        level schedule (and one ``garble_many`` pass for pool misses)
+        instead of ``k`` thread-pooled scalar protocol runs.  Requests
+        on other backends run on a thread pool of ``max_workers`` as
+        before.  Results come back in request order.
+
+        Args:
+            requests: samples or typed :class:`InferenceRequest` items.
+            max_workers: thread-pool width for non-batched requests.
+            return_errors: see below.
+            batch: ``None`` (default) batches when >= 2 requests target
+                the vectorized two-party backend; ``True`` forces the
+                batched path even for a single request; ``False``
+                disables it (pure thread-pool serving).
 
         Per-request failures are isolated: every request runs to
         completion regardless of its neighbours.  With
@@ -408,10 +499,17 @@ class PrivateInferenceService:
         ]
         if not normalized:
             return []
-        workers = max(1, min(max_workers, len(normalized)))
 
         outcomes: List[Optional[InferenceResult]] = [None] * len(normalized)
         errors: List[tuple] = []
+        if batch is False:
+            pending = list(range(len(normalized)))
+        else:
+            pending = self._infer_batched(
+                normalized, outcomes, errors, force=bool(batch)
+            )
+
+        workers = max(1, min(max_workers, len(pending) or 1))
 
         def run_one(index: int, request: InferenceRequest) -> None:
             try:
@@ -420,13 +518,13 @@ class PrivateInferenceService:
                 errors.append((index, exc))
 
         if workers == 1:
-            for index, request in enumerate(normalized):
-                run_one(index, request)
+            for index in pending:
+                run_one(index, normalized[index])
         else:
             with ThreadPoolExecutor(max_workers=workers) as executor:
                 futures = [
-                    executor.submit(run_one, index, request)
-                    for index, request in enumerate(normalized)
+                    executor.submit(run_one, index, normalized[index])
+                    for index in pending
                 ]
                 for future in futures:
                     future.result()  # run_one never raises; this rejoins

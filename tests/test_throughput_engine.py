@@ -1,0 +1,550 @@
+"""PR 3 throughput tier: batched evaluation, parallel KDF, fused narrow
+levels, the vectorized folded path, and watermark-driven pool refills.
+
+The load-bearing contracts: every new fast path is *byte-identical* to
+the scalar reference it replaces (same rng stream -> same tables, labels
+and outputs), ``ParallelKDF`` output is worker-count invariant, and the
+serving layer's batched ``infer_many`` keeps the per-request error
+isolation semantics of the thread-pool path.
+"""
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_gate_chain
+from repro.circuits import CircuitBuilder, FixedPointFormat, bits_from_int
+from repro.circuits.simulate import simulate
+from repro.compile import folded_mac_cell
+from repro.engine import EngineConfig, PregarbledPool
+from repro.errors import EngineError, GarblingError
+from repro.gc import (
+    ArrayLabelStore,
+    Evaluator,
+    FastEvaluator,
+    FixedKeyAES,
+    Garbler,
+    HashKDF,
+    ParallelKDF,
+    SequentialSession,
+    garble_many,
+)
+from repro.gc.cipher import _hash_many_fallback
+from repro.gc.fastgarble import garble_copies
+from repro.gc.ot import TEST_GROUP_512
+from repro.gc.protocol import TwoPartySession
+from repro.service import InferenceRequest, PrivateInferenceService
+
+FMT = FixedPointFormat(2, 6)
+
+
+def _random_circuit(seed: int, n_gates: int = 120, n_inputs: int = 4):
+    """A random netlist covering every gate type (incl. unary chains)."""
+    rng = random.Random(seed)
+    bld = CircuitBuilder(use_structural_hashing=False, fold_constants=False)
+    a = bld.add_alice_inputs(n_inputs)
+    b = bld.add_bob_inputs(n_inputs)
+    wires = list(a) + list(b) + [bld.zero, bld.one]
+    ops = ["xor", "xnor", "and", "or", "nand", "nor", "andn", "not"]
+    for _ in range(n_gates):
+        op = rng.choice(ops)
+        x = rng.choice(wires)
+        if op == "not":
+            wires.append(bld.emit_not(x))
+        else:
+            wires.append(getattr(bld, f"emit_{op}")(x, rng.choice(wires)))
+    for w in wires[-5:]:
+        bld.mark_output(w)
+    return bld.build()
+
+
+def _request_batch(circuit, k, seed):
+    """k independently garbled copies with per-request input labels."""
+    pairs = garble_many(circuit, k, rng=random.Random(seed))
+    rng = random.Random(seed ^ 0xBA7C4)
+    garbleds, alices, bobs, plaintexts = [], [], [], []
+    for garbler, garbled in pairs:
+        a = [rng.randint(0, 1) for _ in range(circuit.n_alice)]
+        b = [rng.randint(0, 1) for _ in range(circuit.n_bob)]
+        garbleds.append(garbled)
+        alices.append(
+            garbler.input_labels_for(list(circuit.alice_inputs), a)
+        )
+        bobs.append(
+            [garbler.labels.select(w, bit)
+             for w, bit in zip(circuit.bob_inputs, b)]
+        )
+        plaintexts.append((a, b))
+    return pairs, garbleds, alices, bobs, plaintexts
+
+
+class TestParallelKDF:
+    def _rows(self, n=600):
+        rng = random.Random(11)
+        return np.frombuffer(
+            bytes(rng.getrandbits(8) for _ in range(24 * n)), dtype=np.uint8
+        ).reshape(n, 24).copy()
+
+    def test_worker_count_invariant(self):
+        rows = self._rows()
+        reference = HashKDF().hash_many(rows)
+        for workers in (1, 2, 3, 4, 7):
+            kdf = ParallelKDF(
+                HashKDF(), workers=workers, min_rows_per_worker=16
+            )
+            assert np.array_equal(kdf.hash_many(rows), reference), workers
+            kdf.close()
+
+    def test_small_batches_run_inline(self):
+        kdf = ParallelKDF(HashKDF(), workers=4, min_rows_per_worker=256)
+        rows = self._rows(32)
+        assert np.array_equal(
+            kdf.hash_many(rows), HashKDF().hash_many(rows)
+        )
+        assert kdf._pool is None  # never spun up for a tiny batch
+        kdf.close()
+
+    def test_scalar_hash_delegates(self):
+        kdf = ParallelKDF(HashKDF(), workers=4)
+        assert kdf.hash(123, 45) == HashKDF().hash(123, 45)
+        kdf.close()
+
+    def test_garbling_identical_to_plain_kdf(self):
+        circuit = _random_circuit(31)
+        plain = Garbler(
+            circuit, kdf=HashKDF(), rng=random.Random(2), vectorized=True
+        ).garble()
+        parallel_kdf = ParallelKDF(
+            HashKDF(), workers=3, min_rows_per_worker=1
+        )
+        parallel = Garbler(
+            circuit, kdf=parallel_kdf, rng=random.Random(2), vectorized=True
+        ).garble()
+        assert plain.tables_bytes() == parallel.tables_bytes()
+        parallel_kdf.close()
+
+    def test_wraps_fixed_key_aes(self):
+        rows = self._rows(64)
+        kdf = ParallelKDF(FixedKeyAES(), workers=2, min_rows_per_worker=8)
+        assert np.array_equal(
+            kdf.hash_many(rows), FixedKeyAES().hash_many(rows)
+        )
+        kdf.close()
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            ParallelKDF(workers=-1)
+
+    def test_engine_config_wiring(self):
+        assert EngineConfig(kdf_workers=1).effective_kdf() is None
+        wrapped = EngineConfig(kdf_workers=3).effective_kdf()
+        assert isinstance(wrapped, ParallelKDF)
+        assert wrapped.workers == 3
+        # an already-parallel oracle is not double-wrapped
+        assert EngineConfig(
+            kdf=wrapped, kdf_workers=4
+        ).effective_kdf() is wrapped
+        with pytest.raises(EngineError):
+            EngineConfig(kdf_workers=-1)
+
+
+class TestFixedKeyAESBatch:
+    def test_no_fallback_needed(self, monkeypatch):
+        """The fixed-key cipher has a real batch path now."""
+        import repro.gc.cipher as cipher_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("FixedKeyAES.hash_many fell back")
+
+        monkeypatch.setattr(cipher_mod, "_hash_many_fallback", boom)
+        rows = np.arange(24 * 40, dtype=np.uint8).reshape(40, 24) % 251
+        FixedKeyAES().hash_many(rows.copy())
+
+    def test_batch_matches_scalar_large(self):
+        kdf = FixedKeyAES()
+        rng = random.Random(3)
+        rows = np.frombuffer(
+            bytes(rng.getrandbits(8) for _ in range(24 * 257)),
+            dtype=np.uint8,
+        ).reshape(257, 24).copy()
+        assert np.array_equal(
+            kdf.hash_many(rows), _hash_many_fallback(kdf, rows)
+        )
+
+    def test_encrypt_blocks_matches_scalar(self):
+        kdf = FixedKeyAES(b"0123456789abcdef")
+        rng = random.Random(4)
+        blocks = np.frombuffer(
+            bytes(rng.getrandbits(8) for _ in range(16 * 33)),
+            dtype=np.uint8,
+        ).reshape(33, 16).copy()
+        batched = kdf.encrypt_blocks(blocks)
+        for i in range(33):
+            expected = kdf.encrypt_block(blocks[i].tobytes())
+            assert batched[i].tobytes() == expected, f"block {i}"
+
+    def test_empty_batch(self):
+        rows = np.empty((0, 24), dtype=np.uint8)
+        assert FixedKeyAES().hash_many(rows).shape == (0, 16)
+
+
+class TestEvaluateMany:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_byte_identical_to_scalar_reference(self, seed):
+        circuit = _random_circuit(seed, n_gates=150)
+        k = 4
+        pairs, garbleds, alices, bobs, plaintexts = _request_batch(
+            circuit, k, seed
+        )
+        batch = FastEvaluator(circuit).evaluate_many(garbleds, alices, bobs)
+        scalar = Evaluator(circuit)
+        for i in range(k):
+            ref = scalar.evaluate(garbleds[i], alices[i], bobs[i])
+            # every wire label identical to the gate-at-a-time reference
+            assert batch[i].as_dict() == ref
+            a, b = plaintexts[i]
+            outs = [batch[i][w] for w in circuit.outputs]
+            assert pairs[i][0].decode_outputs(outs) == simulate(
+                circuit, a, b
+            )
+
+    def test_single_copy_batch(self):
+        circuit = _random_circuit(7)
+        pairs, garbleds, alices, bobs, _ = _request_batch(circuit, 1, 7)
+        batch = FastEvaluator(circuit).evaluate_many(garbleds, alices, bobs)
+        single = FastEvaluator(circuit).evaluate(
+            garbleds[0], alices[0], bobs[0]
+        )
+        assert batch[0].as_dict() == single.as_dict()
+
+    def test_validation(self):
+        circuit = _random_circuit(8)
+        pairs, garbleds, alices, bobs, _ = _request_batch(circuit, 2, 8)
+        evaluator = FastEvaluator(circuit)
+        assert evaluator.evaluate_many([], [], []) == []
+        with pytest.raises(GarblingError, match="every copy"):
+            evaluator.evaluate_many(garbleds, alices[:1], bobs)
+        garbleds[1].tweak_base = 4  # mixed tweak bases are ambiguous
+        with pytest.raises(GarblingError, match="tweak"):
+            evaluator.evaluate_many(garbleds, alices, bobs)
+
+    def test_session_run_many_matches_run(self):
+        circuit = _random_circuit(9, n_gates=140)
+        rng_bits = random.Random(90)
+        alices = [
+            [rng_bits.randint(0, 1) for _ in range(circuit.n_alice)]
+            for _ in range(3)
+        ]
+        bobs = [
+            [rng_bits.randint(0, 1) for _ in range(circuit.n_bob)]
+            for _ in range(3)
+        ]
+        session = TwoPartySession(
+            circuit, ot_group=TEST_GROUP_512, rng=random.Random(91)
+        )
+        units = session.pregarble_many(1)
+        results = session.run_many(
+            alices, bobs, pregarbled=[units[0], None, None]
+        )
+        for (a, b), result in zip(zip(alices, bobs), results):
+            assert result.outputs == simulate(circuit, a, b)
+        assert results[0].times["garble"] == 0.0  # offline material
+        assert results[1].times["garble"] > 0.0
+        with pytest.raises(Exception):
+            session.run_many(alices, bobs[:2])
+
+    def test_run_many_follows_pool_oracle_or_rejects_mixes(self):
+        """The batch shares one evaluator: it follows the material's
+        oracle (like run() does), and a mixed-oracle batch fails fast
+        instead of raising a confusing label error mid-evaluation."""
+        from repro.errors import ProtocolError
+
+        circuit = _random_circuit(10, n_gates=40)
+
+        def foreign_unit(seed):
+            return TwoPartySession(
+                circuit, kdf=FixedKeyAES(), ot_group=TEST_GROUP_512,
+                rng=random.Random(seed),
+            ).pregarble()
+
+        session = TwoPartySession(
+            circuit, ot_group=TEST_GROUP_512, rng=random.Random(2)
+        )
+        bits_a = [0] * circuit.n_alice
+        bits_b = [1] * circuit.n_bob
+        # all-foreign batch: evaluated under the material's own oracle
+        results = session.run_many(
+            [bits_a], [bits_b], pregarbled=[foreign_unit(1)]
+        )
+        assert results[0].outputs == simulate(circuit, bits_a, bits_b)
+        # foreign + fresh (session-kdf) mix cannot share an evaluator
+        with pytest.raises(ProtocolError, match="oracle"):
+            session.run_many(
+                [bits_a, bits_a],
+                [bits_b, bits_b],
+                pregarbled=[foreign_unit(3), None],
+            )
+
+    def test_zero_rows_bounds(self):
+        store = ArrayLabelStore(4, rng=random.Random(6))
+        store.assign_fresh(2)
+        with pytest.raises(GarblingError, match="range"):
+            store.zero_rows([-2])
+        with pytest.raises(GarblingError, match="range"):
+            store.zero_rows([10])
+        with pytest.raises(GarblingError, match="without labels"):
+            store.zero_rows([3])
+        assert store.zero_rows([2]).shape == (1, 16)
+
+
+class TestFusedNarrowRunner:
+    def test_fused_runs_cover_narrow_stretches(self):
+        circuit = build_gate_chain(50, "and")
+        schedule = circuit.level_schedule()
+        runs = schedule.fused_narrow_runs(1, 8)
+        covered = sum(
+            end - start for start, (end, _, _, _) in runs.items()
+        )
+        assert covered == len(schedule.levels)  # a chain is all narrow
+        total_gates = 0
+        for _, (_, gates, out_wires, nf_tidx) in runs.items():
+            total_gates += len(gates)
+            assert len(out_wires) == len(gates)  # one output per gate
+            assert len(nf_tidx) == sum(1 for g in gates if g[3] >= 0)
+        assert total_gates == len(circuit.gates)
+        # a wide batch dissolves the narrow runs
+        assert schedule.fused_narrow_runs(64, 8) == {}
+        # and the cache returns the same object
+        assert schedule.fused_narrow_runs(1, 8) is runs
+
+    @staticmethod
+    def _mixed_chain(n, seed):
+        """A deep narrow chain mixing free and non-free gate types."""
+        rng = random.Random(seed)
+        bld = CircuitBuilder(
+            use_structural_hashing=False, fold_constants=False
+        )
+        a = bld.add_alice_inputs(2)
+        b = bld.add_bob_inputs(2)
+        wire, other = a[0], b[0]
+        for i in range(n):
+            op = rng.choice(["and", "nor", "nand", "xnor", "or"])
+            wire = getattr(bld, f"emit_{op}")(wire, other)
+            other = a[1] if i % 2 == 0 else b[1]
+        bld.mark_output(wire)
+        return bld.build()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fused_garble_bit_exact(self, seed):
+        circuit = self._mixed_chain(120, seed)
+        kdf = HashKDF()
+        ref_store = ArrayLabelStore(circuit.n_wires, rng=random.Random(seed))
+        ref = garble_copies(circuit, kdf, [ref_store], fuse=False)[0]
+        fused_store = ArrayLabelStore(
+            circuit.n_wires, rng=random.Random(seed)
+        )
+        fused = garble_copies(circuit, kdf, [fused_store], fuse=True)[0]
+        scalar = Garbler(circuit, kdf=kdf, rng=random.Random(seed)).garble()
+        assert ref.tables_bytes() == fused.tables_bytes()
+        assert scalar.tables_bytes() == fused.tables_bytes()
+        assert ref.decode_bits == fused.decode_bits == scalar.decode_bits
+
+    def test_fused_evaluate_bit_exact(self):
+        circuit = build_gate_chain(90, "and")
+        garbler = Garbler(circuit, rng=random.Random(5), vectorized=True)
+        garbled = garbler.garble()
+        alice = [
+            garbler.labels.select(w, 1) for w in circuit.alice_inputs
+        ]
+        bob = [garbler.labels.select(w, 1) for w in circuit.bob_inputs]
+        evaluator = FastEvaluator(circuit)
+        fused = evaluator.evaluate(garbled, alice, bob, fuse=True)
+        unfused = evaluator.evaluate(garbled, alice, bob, fuse=False)
+        assert fused.as_dict() == unfused.as_dict()
+
+    def test_mixed_random_netlists_still_bit_exact(self):
+        """Fusion interleaves with wide levels on arbitrary shapes."""
+        for seed in (12, 13, 14):
+            circuit = _random_circuit(seed, n_gates=160)
+            scalar = Garbler(circuit, rng=random.Random(seed)).garble()
+            fused = Garbler(
+                circuit, rng=random.Random(seed), vectorized=True
+            ).garble()
+            assert scalar.tables_bytes() == fused.tables_bytes()
+
+
+class TestVectorizedSequential:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_folded_mac_bit_exact_across_engines(self, seed):
+        """ISSUE 3 acceptance: scalar == vectorized == pipelined on the
+        folded MAC core, >= 3 seeds (outputs and wire traffic)."""
+        cell = folded_mac_cell(FMT, fan_in=5)
+        width = cell.core.n_alice
+        cycles = 5
+        alice = [bits_from_int(seed + i, width) for i in range(cycles)]
+        bob = [
+            bits_from_int(2 * i + seed, cell.core.n_bob)
+            for i in range(cycles)
+        ]
+        outcomes = []
+        for kwargs in (
+            {"vectorized": False},
+            {"vectorized": True},
+            {"vectorized": True, "pipelined": True},
+        ):
+            session = SequentialSession(
+                cell, ot_group=TEST_GROUP_512, rng=random.Random(seed),
+                **kwargs,
+            )
+            result = session.run(alice, bob, cycles=cycles)
+            outcomes.append((result.outputs_per_cycle, result.comm))
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+        # and the protocol agrees with the plaintext reference
+        assert outcomes[0][0] == cell.run(alice, bob, cycles=cycles)
+
+    def test_register_carry_stays_private(self):
+        """No state transfer tags appear on the vectorized path either."""
+        cell = folded_mac_cell(FMT, fan_in=3)
+        session = SequentialSession(
+            cell, ot_group=TEST_GROUP_512, rng=random.Random(4),
+            vectorized=True, pipelined=True,
+        )
+        result = session.run(
+            [bits_from_int(1, cell.core.n_alice)],
+            [bits_from_int(1, cell.core.n_bob)],
+            cycles=3,
+        )
+        assert set(result.comm) <= {
+            "tables", "const_labels", "alice_labels", "ot", "output_labels"
+        }
+        assert len(result.garble_times) == 3
+        assert len(result.evaluate_times) == 3
+
+
+class TestWatermarkRefill:
+    def _circuit(self):
+        return build_gate_chain(60, "and")
+
+    def test_low_watermark_gates_background_refill(self):
+        pool = PregarbledPool(
+            self._circuit(), capacity=4, refill="background",
+            low_watermark=2, rng=random.Random(1),
+        )
+        try:
+            deadline = time.monotonic() + 15
+            while len(pool) < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # the background thread only fills to the watermark band,
+            # never top-to-capacity beyond the sized batch
+            assert len(pool) >= 2
+            pool.acquire()  # size >= 1, still may sit below watermark
+            deadline = time.monotonic() + 15
+            while len(pool) < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(pool) >= 2
+        finally:
+            pool.close()
+
+    def test_opportunistic_batches_from_drain(self):
+        pool = PregarbledPool(
+            self._circuit(), capacity=6, refill="none",
+            rng=random.Random(2),
+        )
+        pool.warm()  # seed per-copy garble time
+        for _ in range(6):
+            pool.acquire()
+        with pool._lock:
+            batch = pool._refill_batch_locked()
+        # six acquires just drained the pool; the sized batch refills
+        # more than the one-copy top-up of the old policy
+        assert batch >= 1
+        assert batch <= pool.capacity
+        stats = pool.stats()
+        assert stats["low_watermark"] is None
+        assert stats["drain_rate"] > 0.0
+        assert stats["per_copy_s"] > 0.0
+
+    def test_refill_batch_respects_room_and_watermark(self):
+        pool = PregarbledPool(
+            self._circuit(), capacity=4, refill="none",
+            low_watermark=2, rng=random.Random(3),
+        )
+        with pool._lock:
+            assert pool._refill_batch_locked() >= 1  # empty, below mark
+        pool.warm(3)
+        with pool._lock:
+            assert pool._refill_batch_locked() == 0  # above the mark
+        stats = pool.stats()
+        assert stats["low_watermark"] == 2
+
+    def test_engine_config_passes_watermark(self):
+        with pytest.raises(EngineError):
+            EngineConfig(pool_low_watermark=0)
+        config = EngineConfig(pool_size=3, pool_low_watermark=2)
+        assert config.pool_low_watermark == 2
+
+
+class TestServiceBatchedInfer:
+    @pytest.fixture(scope="class")
+    def service(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=(60, 5))
+        y = (x @ rng.normal(size=(5, 3))).argmax(axis=1)
+        from repro.nn import Dense, Sequential, Tanh, TrainConfig, Trainer
+
+        model = Sequential(
+            [Dense(4), Tanh(), Dense(3)], input_shape=(5,), seed=3
+        )
+        Trainer(model, TrainConfig(epochs=10, learning_rate=0.2)).fit(x, y)
+        config = EngineConfig(
+            fmt=FMT, activation="exact", ot_group=TEST_GROUP_512,
+            rng=random.Random(7), pool_size=2, pool_refill="none",
+            history_limit=64,
+        )
+        service = PrivateInferenceService(model, config)
+        yield service, x
+        service.close()
+
+    def test_batched_matches_threaded_and_cleartext(self, service):
+        svc, x = service
+        expected = [svc.cleartext_label(s) for s in x[:3]]
+        batched = svc.infer_many(list(x[:3]), batch=True)
+        assert [r.label for r in batched] == expected
+        threaded = svc.infer_many(list(x[:3]), batch=False, max_workers=2)
+        assert [r.label for r in threaded] == expected
+
+    def test_batched_consumes_pool_material(self, service):
+        svc, x = service
+        svc.prepare(2)
+        results = svc.infer_many(list(x[3:6]), batch=True)
+        assert sum(1 for r in results if r.pregarbled) == 2
+
+    def test_batched_error_isolation(self, service):
+        svc, x = service
+        results = svc.infer_many(
+            [x[0], np.zeros(99), x[1]], batch=True, return_errors=True
+        )
+        assert [r.ok for r in results] == [True, False, True]
+        assert results[1].label == -1
+        assert "width" in results[1].error or "Error" in results[1].error
+
+    def test_mixed_backends_split_between_paths(self, service):
+        svc, x = service
+        requests = [
+            InferenceRequest(sample=x[0], request_id="gc"),
+            InferenceRequest(
+                sample=x[1], request_id="sim", backend="simulate"
+            ),
+            InferenceRequest(sample=x[2], request_id="gc2"),
+        ]
+        results = svc.infer_many(requests, batch=True)
+        assert [r.request_id for r in results] == ["gc", "sim", "gc2"]
+        assert results[1].backend == "simulate"
+        assert results[0].backend == "two_party"
+
+    def test_auto_mode_needs_two_requests(self, service):
+        svc, x = service
+        single = svc.infer_many([x[4]])  # auto: single request stays scalar
+        assert single[0].label == svc.cleartext_label(x[4])

@@ -10,6 +10,7 @@ build instead of silently rewriting the numbers.
 
 import argparse
 import json
+import math
 import os
 import pathlib
 import sys
@@ -34,12 +35,56 @@ def write_report(results_dir, name: str, text: str) -> None:
     print(f"\n[{name}]\n{text}")
 
 
+def _is_ratio(value) -> bool:
+    """True for a real, finite, non-bool number (a usable speedup)."""
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def _speedup_problems(entry: dict) -> list:
+    """Why this entry cannot anchor the regression gate (empty = fine).
+
+    Every trajectory entry must carry at least one *numeric* speedup
+    metric: a ``None``/NaN value never compares against a baseline, so
+    a regression in that benchmark would silently escape the CI gate.
+    """
+    entry_id = entry.get("id", "<missing id>")
+    keys = [k for k in entry if "speedup" in k]
+    problems = []
+    if not keys:
+        problems.append(
+            f"{entry_id}: no speedup metric (key containing 'speedup') — "
+            "the CI regression gate would never compare this entry"
+        )
+    for key in keys:
+        if not _is_ratio(entry[key]):
+            problems.append(
+                f"{entry_id}.{key} = {entry[key]!r} is not a finite "
+                "number — it silently escapes the regression gate"
+            )
+    return problems
+
+
 def record_trajectory(entry_id: str, payload: dict) -> None:
     """Upsert one entry of the perf trajectory (keyed by ``entry_id``).
 
     The file keeps one entry per benchmark id so re-runs refresh their
     numbers in place while entries from other benchmarks/PRs persist.
+
+    Raises:
+        ValueError: the entry carries no numeric speedup metric (every
+            entry must be comparable by the CI regression gate — a
+            ``None`` speedup would silently escape it).
     """
+    problems = _speedup_problems({"id": entry_id, **payload})
+    if problems:
+        raise ValueError(
+            "refusing to record an ungateable trajectory entry:\n  "
+            + "\n  ".join(problems)
+        )
     data = {"entries": []}
     if TRAJECTORY_PATH.exists():
         try:
@@ -72,6 +117,11 @@ def compare_trajectory(baseline: dict, current: dict,
     base_entries = {e.get("id"): e for e in baseline.get("entries", [])}
     cur_entries = {e.get("id"): e for e in current.get("entries", [])}
     problems = []
+    # a malformed *current* entry must fail the gate, not slip past it:
+    # a None speedup compares against nothing, so without this check a
+    # benchmark could regress arbitrarily and still go green
+    for entry in current.get("entries", []):
+        problems.extend(_speedup_problems(entry))
     for entry_id, base in base_entries.items():
         cur = cur_entries.get(entry_id)
         if cur is None:
@@ -79,12 +129,16 @@ def compare_trajectory(baseline: dict, current: dict,
         for key, base_val in sorted(base.items()):
             if "speedup" not in key:
                 continue
-            if not isinstance(base_val, (int, float)) or isinstance(
-                base_val, bool
-            ):
+            if not _is_ratio(base_val):
                 continue
             cur_val = cur.get(key)
-            if not isinstance(cur_val, (int, float)) or base_val <= 0:
+            if base_val <= 0:
+                continue
+            if not _is_ratio(cur_val):
+                problems.append(
+                    f"{entry_id}.{key}: baseline {base_val:.3f} but current "
+                    f"value {cur_val!r} is not comparable"
+                )
                 continue
             if cur_val < base_val * (1.0 - tolerance):
                 drop = (1.0 - cur_val / base_val) * 100.0

@@ -1,0 +1,236 @@
+"""PR 5 KDF tier: block-parallel SHA-256 kernel + autotuned oracle choice.
+
+Three measurements around the garbling oracle — the symmetric-key
+primitive the paper says dominates GC cost — recorded as the
+``pr5-vector-sha256`` entry of the perf trajectory:
+
+* ``hash_many`` throughput of every registered backend (hashlib loop,
+  block-parallel NumPy kernel, fixed-key AES) across batch widths, plus
+  the kernel under ``ParallelKDF`` chunk-splitting (ufuncs release the
+  GIL, so this row scales with host cores);
+* the host calibration (:func:`repro.gc.calibrate_kdf`) that ``auto``
+  mode uses, persisted to ``results/kdf_calibration.json`` so CI
+  archives each runner's crossover;
+* end-to-end garble + evaluate of the demo DL netlist under
+  ``kdf_backend="auto"`` vs the plain hashlib loop.
+
+Honesty note: the kernel's single-thread standing is *host dependent*.
+Where OpenSSL one-shots SHA-256 through SHA-NI silicon (~0.6 us/row,
+bulk >= 1 GB/s) the pure-NumPy kernel roughly ties the loop and the
+calibrator rightly keeps hashlib; without SHA-NI, or with cores for
+``ParallelKDF`` to chunk across, the kernel is the one that scales.
+The trajectory entry records the measured ratios either way — the
+``auto`` backend guarantees serving never regresses.
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI configuration.  The kernel
+sanity floor (``REPRO_BENCH_VEC_SHA_FLOOR``, default 0.5) asserts the
+kernel is within 2x of the loop even on SHA-NI hosts; hosts where the
+kernel should win outright can raise it.
+"""
+
+import hashlib
+import json
+import os
+import time
+
+from repro.cli import _demo_service
+from repro.gc import (
+    FixedKeyAES,
+    HashKDF,
+    ParallelKDF,
+    VectorHashKDF,
+    calibrate_kdf,
+)
+from repro.gc.cipher import ROW_BYTES
+
+from _bench_util import quick_mode, record_trajectory, write_report
+
+import numpy as np
+
+#: sha256_vec hash_many vs the hashlib loop at the headline width; a
+#: *sanity* bar (kernel must stay in the loop's league even where
+#: SHA-NI makes the loop nearly unbeatable single-threaded).
+VEC_SHA_FLOOR = float(os.environ.get("REPRO_BENCH_VEC_SHA_FLOOR", "0.5"))
+
+#: end-to-end auto-vs-hashlib garble+evaluate (auto must never lose
+#: beyond noise — that is the autotuner's whole contract).
+AUTO_E2E_FLOOR = float(os.environ.get("REPRO_BENCH_AUTO_E2E_FLOOR", "0.8"))
+
+#: headline width for the recorded speedup (ISSUE 5 targets >= 4096).
+HEADLINE_WIDTH = 4096
+
+
+def _rows(width: int, seed: int = 0xD5EC) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(width, ROW_BYTES), dtype=np.uint8)
+
+
+def _best_rows_per_s(kdf, rows, repeats: int) -> float:
+    kdf.hash_many(rows[:64])  # warm scratch / thread pools
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        kdf.hash_many(rows)
+        best = min(best, time.perf_counter() - start)
+    return rows.shape[0] / best
+
+
+def _sha_ni_likely() -> bool:
+    """Heuristic: bulk hashlib >= 1 GB/s means hardware SHA."""
+    data = b"\xa5" * (1 << 20)
+    start = time.perf_counter()
+    hashlib.sha256(data).digest()
+    elapsed = time.perf_counter() - start
+    return (len(data) / elapsed) >= 1e9
+
+
+def test_kdf_backend_throughput(results_dir):
+    """Oracle registry shoot-out + the pr5 trajectory entry."""
+    quick = quick_mode()
+    repeats = 2 if quick else 5
+    widths = (1024, HEADLINE_WIDTH) if quick else (1024, 4096, 16384)
+    cores = os.cpu_count() or 1
+
+    backends = {
+        "hashlib": HashKDF(),
+        "sha256_vec": VectorHashKDF(min_width=0),
+        "fixed_key_aes": FixedKeyAES(),
+        f"parallel[sha256_vec]x{cores}": ParallelKDF(
+            VectorHashKDF(min_width=0), workers=cores,
+            min_rows_per_worker=512,
+        ),
+    }
+    table = {}
+    for width in widths:
+        rows = _rows(width)
+        table[width] = {
+            name: _best_rows_per_s(kdf, rows, repeats)
+            for name, kdf in backends.items()
+        }
+    backends[f"parallel[sha256_vec]x{cores}"].close()
+
+    headline = table[HEADLINE_WIDTH]
+    vec_speedup = headline["sha256_vec"] / headline["hashlib"]
+    par_speedup = (
+        headline[f"parallel[sha256_vec]x{cores}"] / headline["hashlib"]
+    )
+    aes_speedup = headline["fixed_key_aes"] / headline["hashlib"]
+    sha_ni = _sha_ni_likely()
+
+    lines = [
+        f"host: {cores} core(s), hashlib SHA-NI likely: {sha_ni}",
+        f"{'width':>8}" + "".join(f"{n:>26}" for n in backends),
+    ]
+    for width in widths:
+        lines.append(
+            f"{width:>8}" + "".join(
+                f"{table[width][n] / 1e6:>23.2f}M/s" for n in backends
+            )
+        )
+    lines.append(
+        f"headline (width {HEADLINE_WIDTH}): sha256_vec {vec_speedup:.2f}x, "
+        f"parallel {par_speedup:.2f}x, fixed-key AES {aes_speedup:.2f}x "
+        f"vs hashlib loop"
+    )
+    write_report(results_dir, "kdf_backends", "\n".join(lines))
+
+    record_trajectory(
+        "pr5-vector-sha256",
+        {
+            "pr": 5,
+            "host_cores": cores,
+            "sha_ni_hashlib": sha_ni,
+            "width": HEADLINE_WIDTH,
+            "hashlib_rows_per_s": round(headline["hashlib"]),
+            "sha256_vec_rows_per_s": round(headline["sha256_vec"]),
+            "hash_many_speedup": round(vec_speedup, 3),
+            "parallel_hash_many_speedup": round(par_speedup, 3),
+            "aes_hash_many_speedup": round(aes_speedup, 3),
+            "quick_mode": quick,
+        },
+    )
+    assert vec_speedup >= VEC_SHA_FLOOR, (
+        f"sha256_vec only {vec_speedup:.2f}x of the hashlib loop at width "
+        f"{HEADLINE_WIDTH} (floor {VEC_SHA_FLOOR}x)"
+    )
+    # the parallel wrapper must never lose to its own inner kernel
+    assert par_speedup >= vec_speedup * 0.8
+
+
+def test_calibration_artifact(results_dir):
+    """Persist the auto-mode calibration CI consumes as an artifact."""
+    cal = calibrate_kdf(include_aes=not quick_mode())
+    payload = cal.as_dict()
+    payload["headline_speedup"] = round(
+        cal.speedup("sha256_vec", HEADLINE_WIDTH), 3
+    )
+    path = results_dir / "kdf_calibration.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[kdf_calibration] -> {path}")
+    # the calibrator must agree with its own measurements: whichever
+    # backend it reports as best at a width really measured faster there
+    for width in cal.widths:
+        best = cal.best_sha_backend(width)
+        if best == "sha256_vec":
+            assert (
+                cal.rows_per_s["sha256_vec"][width]
+                >= cal.rows_per_s["hashlib"][width]
+            )
+
+
+def test_end_to_end_auto_backend(results_dir):
+    """Demo-netlist garble+evaluate: auto vs pinned hashlib loop.
+
+    ``auto`` picks per host; the contract asserted here is *never
+    slower beyond noise* — and byte-identical labels, which the tier-1
+    suite property-tests separately.
+    """
+    reps = 1 if quick_mode() else 3
+
+    def run(kdf_backend):
+        service, x = _demo_service(kdf_backend=kdf_backend)
+        # one warm-up inference compiles the circuit and fills caches
+        service.infer(x[0])
+        best = float("inf")
+        label = None
+        for i in range(reps):
+            start = time.perf_counter()
+            record = service.infer(x[1])
+            best = min(best, time.perf_counter() - start)
+            label = record.label
+        service.close()
+        return best, label
+
+    auto_s, auto_label = run("auto")
+    hashlib_s, hashlib_label = run("hashlib")
+    assert auto_label == hashlib_label
+    speedup = hashlib_s / auto_s
+    write_report(
+        results_dir,
+        "kdf_auto_end_to_end",
+        f"demo DL netlist private inference: hashlib {hashlib_s:.3f}s, "
+        f"auto {auto_s:.3f}s -> {speedup:.2f}x (auto may equal hashlib "
+        f"when calibration keeps the loop)",
+    )
+    record_trajectory(
+        "pr5-kdf-auto-end-to-end",
+        {
+            "pr": 5,
+            "hashlib_infer_s": round(hashlib_s, 6),
+            "auto_infer_s": round(auto_s, 6),
+            "auto_end_to_end_speedup": round(speedup, 3),
+            "quick_mode": quick_mode(),
+        },
+    )
+    assert speedup >= AUTO_E2E_FLOOR, (
+        f"kdf_backend=auto is {speedup:.2f}x of hashlib end to end "
+        f"(floor {AUTO_E2E_FLOOR})"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-v"] + sys.argv[1:]))

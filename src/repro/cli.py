@@ -127,7 +127,7 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
                   pool_size: int = 0, history_limit: int = 0, seed: int = 1,
                   pool_refill: str = "opportunistic",
                   vectorized: bool = True, kdf_workers: int = 1,
-                  pool_low_watermark=None):
+                  kdf_backend: str = "auto", pool_low_watermark=None):
     """A small trained service for the live subcommands (fast OT group)."""
     import random
 
@@ -153,6 +153,7 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
         rng=random.Random(seed),
         vectorized=vectorized,
         kdf_workers=kdf_workers,
+        kdf_backend=kdf_backend,
         pool_size=pool_size,
         pool_refill=pool_refill,
         pool_low_watermark=pool_low_watermark,
@@ -201,7 +202,8 @@ def _cmd_serve(args) -> None:
     service, x = _demo_service(
         pool_size=pool_size, history_limit=args.requests,
         pool_refill=args.refill, vectorized=not args.scalar,
-        kdf_workers=args.kdf_workers, pool_low_watermark=args.watermark,
+        kdf_workers=args.kdf_workers, kdf_backend=args.kdf_backend,
+        pool_low_watermark=args.watermark,
     )
     pool = service.pool
     print(service.circuit_summary)
@@ -209,7 +211,8 @@ def _cmd_serve(args) -> None:
         warmed = service.prepare()
         print(f"offline phase: {warmed} circuits pre-garbled "
               f"(engine {'scalar' if args.scalar else 'vectorized'}, "
-              f"refill {args.refill}, kdf workers {args.kdf_workers})")
+              f"refill {args.refill}, kdf workers {args.kdf_workers}, "
+              f"kdf backend {args.kdf_backend} -> {service.kdf_name})")
     else:
         print("offline phase: disabled (--pool 0, cold baseline)")
 
@@ -311,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batched evaluation: push concurrent "
                             "requests through one evaluate_many pass "
                             "(default: auto)")
+    serve.add_argument("--kdf-backend", default="auto",
+                       choices=["auto", "hashlib", "sha256_vec",
+                                "fixed_key_aes"],
+                       help="garbling-oracle backend: auto calibrates the "
+                            "hashlib loop vs the block-parallel NumPy "
+                            "SHA-256 kernel per batch width (identical "
+                            "tables either way)")
     serve.add_argument("--kdf-workers", type=int, default=1,
                        help="thread-split the batched KDF across this "
                             "many workers (0 = host cores)")

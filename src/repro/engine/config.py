@@ -42,7 +42,17 @@ class EngineConfig:
             custom registration).
         backend_options: extra keywords for the chosen backend's
             constructor (e.g. ``{"copies": 4}`` for cut-and-choose).
-        kdf: garbling oracle; None selects the default SHA-256 backend.
+        kdf: explicit garbling-oracle *instance*; overrides
+            ``kdf_backend`` entirely when set.  None (default) lets the
+            backend registry choose.
+        kdf_backend: registered oracle backend name —
+            ``"auto"`` (default: one-shot host calibration picks the
+            hashlib loop or the block-parallel NumPy SHA-256 kernel per
+            batch width; both compute identical digests so tables never
+            change), ``"hashlib"``, ``"sha256_vec"``, or
+            ``"fixed_key_aes"`` (JustGarble fixed-key oracle — a
+            *different* random oracle: same inference results, different
+            table bytes).
         ot_group: group for base OTs (production default MODP-2048).
         rng: randomness source (``secrets``, or a seeded
             ``random.Random`` for reproducible runs).
@@ -77,6 +87,7 @@ class EngineConfig:
     backend: str = "two_party"
     backend_options: Dict[str, Any] = dataclasses.field(default_factory=dict)
     kdf: Optional[HashKDF] = None
+    kdf_backend: str = "auto"
     ot_group: OTGroup = MODP_2048
     rng: Any = secrets
     vectorized: bool = True
@@ -104,6 +115,13 @@ class EngineConfig:
                 f"unknown backend {self.backend!r}; registered: "
                 f"{', '.join(available_backends())}"
             )
+        from ..gc.cipher import KDF_BACKENDS
+
+        if self.kdf_backend != "auto" and self.kdf_backend not in KDF_BACKENDS:
+            raise EngineError(
+                f"unknown kdf_backend {self.kdf_backend!r}; choose from "
+                f"auto, {', '.join(sorted(KDF_BACKENDS))}"
+            )
         if self.kdf_workers < 0:
             raise EngineError("kdf_workers must be >= 0 (0 = host cores)")
         if self.pool_size < 0:
@@ -119,20 +137,33 @@ class EngineConfig:
             raise EngineError("history_limit must be >= 0")
 
     def effective_kdf(self) -> Optional[HashKDF]:
-        """The garbling oracle with ``kdf_workers`` applied.
+        """The garbling oracle with ``kdf_backend``/``kdf_workers`` applied.
 
-        Returns the configured ``kdf`` unchanged (possibly ``None`` for
-        the default) when a single worker is requested; otherwise wraps
-        it in a :class:`repro.gc.cipher.ParallelKDF`.  Call once per
+        An explicit ``kdf`` instance wins; otherwise the backend name is
+        resolved through the oracle registry (``"auto"`` consults the
+        cached host calibration — the registry guarantees the choice
+        never changes garbled bytes, only speed).  With ``kdf_workers``
+        > 1 the resolved oracle is wrapped in a
+        :class:`repro.gc.cipher.ParallelKDF` that chunk-splits each
+        batch; the NumPy kernel releases the GIL inside its ufuncs, so
+        that wrapper actually scales on multicore hosts.  Call once per
         service so every backend, pool and session shares one worker
         pool.
         """
-        from ..gc.cipher import ParallelKDF
+        from ..gc.cipher import ParallelKDF, resolve_kdf_backend
 
         workers = self.kdf_workers or (os.cpu_count() or 1)
-        if workers <= 1 or isinstance(self.kdf, ParallelKDF):
-            return self.kdf
-        return ParallelKDF(self.kdf, workers=workers)
+        kdf = self.kdf
+        if kdf is None and self.kdf_backend != "hashlib":
+            # "hashlib" keeps the seed behavior (None -> default_kdf());
+            # anything else resolves through the registry.  "auto" gets
+            # the worker count: only the GIL-releasing NumPy kernel can
+            # use those threads, so the calibrated crossover must be
+            # taken at kernel-throughput x workers
+            kdf = resolve_kdf_backend(self.kdf_backend, workers=workers)
+        if workers <= 1 or isinstance(kdf, ParallelKDF):
+            return kdf
+        return ParallelKDF(kdf, workers=workers)
 
     def compile_options(self) -> CompileOptions:
         """The compiler view of this configuration."""

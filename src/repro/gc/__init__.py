@@ -7,7 +7,21 @@ garbling and XOR-sharing outsourcing.
 
 from .channel import Channel, ChannelStats, make_channel_pair
 from .cutandchoose import CutAndChooseGarbler, OpenedCopy, verify_opened_copy
-from .cipher import LABEL_BITS, FixedKeyAES, HashKDF, ParallelKDF, default_kdf
+from .cipher import (
+    KDF_BACKENDS,
+    LABEL_BITS,
+    FixedKeyAES,
+    HashKDF,
+    KDFCalibration,
+    ParallelKDF,
+    VectorHashKDF,
+    calibrate_kdf,
+    default_kdf,
+    kdf_calibration,
+    make_kdf,
+    resolve_kdf_backend,
+)
+from .sha256_vec import sha256_many
 from .evaluate import Evaluator
 from .fastgarble import FastEvaluator, FastGarbler, LabelPlane, garble_many
 from .garble import GarbledCircuit, GarbledGate, Garbler
@@ -40,8 +54,16 @@ __all__ = [
     "random_delta",
     "permute_bit",
     "HashKDF",
+    "KDFCalibration",
+    "KDF_BACKENDS",
     "FixedKeyAES",
     "ParallelKDF",
+    "VectorHashKDF",
+    "calibrate_kdf",
+    "kdf_calibration",
+    "make_kdf",
+    "resolve_kdf_backend",
+    "sha256_many",
     "default_kdf",
     "LABEL_BITS",
     "OTGroup",

@@ -16,11 +16,13 @@ Labels are Python ints throughout (XOR on ints is fast and constant-free).
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,8 +30,16 @@ __all__ = [
     "LABEL_BITS",
     "LABEL_MASK",
     "HashKDF",
+    "VectorHashKDF",
+    "AutoHashKDF",
     "FixedKeyAES",
     "ParallelKDF",
+    "KDF_BACKENDS",
+    "KDFCalibration",
+    "calibrate_kdf",
+    "kdf_calibration",
+    "make_kdf",
+    "resolve_kdf_backend",
     "default_kdf",
 ]
 
@@ -100,6 +110,64 @@ class HashKDF:
         # keep the full 32-byte digests contiguous and let NumPy view the
         # first 16 bytes of each — one slice instead of one per row
         return np.frombuffer(digests, dtype=np.uint8).reshape(-1, 32)[:, :16]
+
+
+class VectorHashKDF(HashKDF):
+    """SHA-256 oracle with a block-parallel NumPy batch path.
+
+    Identical oracle to :class:`HashKDF` — same ``hash``, and
+    ``hash_many`` produces byte-for-byte the same masks — but batches at
+    or above :attr:`min_width` rows run through
+    :func:`repro.gc.sha256_vec.sha256_many`, which hashes all rows as
+    uint32 lane arithmetic in one pass.  Narrow batches (fused/narrow
+    levels) keep the hashlib loop, which wins below the crossover where
+    per-ufunc overhead dominates.
+
+    Because the kernel computes the identical digests, swapping this
+    backend in (or letting :func:`calibrate_kdf` pick it) never changes
+    a garbled table, label or decode bit.
+
+    Two very different hosts motivate the split:
+
+    * with SHA-NI (hashlib one-shots ~0.6us, nearly all interpreter
+      overhead) the single-threaded kernel roughly ties the loop, and
+      wins only via :class:`ParallelKDF` chunk-splitting — NumPy
+      releases the GIL inside every ufunc, so the kernel scales across
+      cores where the sub-2KiB hashlib loop cannot;
+    * without SHA-NI (one-shots ~2-4us) the kernel wins outright at a
+      few hundred rows.
+
+    ``calibrate_kdf()`` measures which host this is instead of guessing.
+
+    Args:
+        min_width: smallest batch the NumPy kernel takes; smaller
+            batches fall back to the hashlib loop.  ``0`` sends
+            everything through the kernel.
+    """
+
+    name = "sha256-vec"
+
+    #: Fallback crossover when constructed without calibration.
+    DEFAULT_MIN_WIDTH = 1024
+
+    def __init__(self, min_width: Optional[int] = None):
+        self.min_width = (
+            self.DEFAULT_MIN_WIDTH if min_width is None else max(0, min_width)
+        )
+
+    def hash_many(self, rows: "np.ndarray") -> "np.ndarray":
+        # the kernel computes SHA-256 digests; if a subclass redefined
+        # the scalar oracle, wide and narrow batches would silently use
+        # *different* oracles — defer to the base class, whose override
+        # guard routes everything through the subclass's hash()
+        if (
+            rows.shape[0] >= max(self.min_width, 1)
+            and type(self).hash is HashKDF.hash
+        ):
+            from .sha256_vec import sha256_many
+
+            return sha256_many(rows, out_len=16)
+        return super().hash_many(rows)
 
 
 # ---------------------------------------------------------------------------
@@ -343,7 +411,16 @@ class ParallelKDF:
         return self.inner.hash(label, tweak)
 
     def hash_many(self, rows: "np.ndarray") -> "np.ndarray":
-        """Batched oracle, row blocks split across the worker pool."""
+        """Batched oracle, row blocks split across the worker pool.
+
+        The split width is governed only by ``min_rows_per_worker``; a
+        width-gated inner oracle (:class:`VectorHashKDF`) makes its own
+        per-chunk kernel-vs-loop choice, so its ``min_width`` must be
+        calibrated as a *chunk* crossover (see :class:`AutoHashKDF`).
+        Chunks that land below it simply run the hashlib loop inside
+        the workers — GIL-serialized, i.e. parity with not splitting,
+        never a regression.
+        """
         n = rows.shape[0]
         n_splits = min(self.workers, max(1, n // self.min_rows_per_worker))
         if n_splits <= 1:
@@ -358,6 +435,261 @@ class ParallelKDF:
             if self._pool is not None:
                 self._pool.shutdown(wait=False)
                 self._pool = None
+
+
+# ---------------------------------------------------------------------------
+# oracle registry + one-shot autotuner
+# ---------------------------------------------------------------------------
+
+#: Constructable garbling-oracle backends, keyed by config-facing name.
+#: ``hashlib`` and ``sha256_vec`` implement the *same* SHA-256 oracle
+#: (identical tables for identical seeds); ``fixed_key_aes`` is the
+#: JustGarble fixed-key-cipher oracle — a different random oracle, so
+#: its tables differ by construction (results still agree end to end).
+KDF_BACKENDS: Dict[str, type] = {
+    "hashlib": HashKDF,
+    "sha256_vec": VectorHashKDF,
+    "fixed_key_aes": FixedKeyAES,
+}
+
+#: Widths the calibrator samples.  They bracket what the engine emits:
+#: fused/narrow levels (hundreds of rows), mid-size levels, and one
+#: wide level of the demo DL netlist (~4k).  Nothing larger is sampled
+#: because the kernel processes bigger batches in
+#: :data:`repro.gc.sha256_vec.CHUNK_ROWS`-sized chunks anyway, so 4096
+#: already characterizes every super-batch.
+CALIBRATION_WIDTHS: Tuple[int, ...] = (256, 1024, 4096)
+
+
+@dataclasses.dataclass(frozen=True)
+class KDFCalibration:
+    """Measured ``hash_many`` throughput per backend per batch width.
+
+    Attributes:
+        widths: sampled batch widths (rows per call).
+        rows_per_s: backend name -> {width: measured rows/second}.
+        crossover_width: smallest sampled width from which the NumPy
+            kernel beats the hashlib loop at every larger sampled width,
+            or ``None`` when the loop wins everywhere (typical for
+            single-core hosts whose OpenSSL has SHA-NI).
+        host_cores: ``os.cpu_count()`` at calibration time.
+        elapsed_s: wall time the calibration run took.
+    """
+
+    widths: Tuple[int, ...]
+    rows_per_s: Dict[str, Dict[int, float]]
+    crossover_width: Optional[int]
+    host_cores: int
+    elapsed_s: float
+
+    def best_sha_backend(self, width: int) -> str:
+        """``"hashlib"`` or ``"sha256_vec"`` — fastest at ``width``."""
+        if self.crossover_width is not None and width >= self.crossover_width:
+            return "sha256_vec"
+        return "hashlib"
+
+    def crossover_for_scale(self, scale: float = 1.0) -> Optional[int]:
+        """The hashlib->kernel crossover when the kernel runs on
+        ``scale`` effective cores.
+
+        The hashlib loop holds the GIL for its sub-2KiB digests, so
+        extra workers never speed it up; the NumPy kernel releases the
+        GIL inside every ufunc, so :class:`ParallelKDF` chunk-splitting
+        scales it roughly linearly.  Multiplying the kernel's measured
+        single-thread throughput by ``scale`` models that split without
+        a second (multi-threaded) calibration pass.  With ``scale > 1``
+        the result is a *per-chunk* crossover: each of the ``scale``
+        concurrent chunks should take the kernel from this width up.
+
+        Returns:
+            Smallest sampled width from which ``sha256_vec * scale``
+            beats ``hashlib`` at every larger sampled width, or None.
+        """
+        vec = self.rows_per_s["sha256_vec"]
+        loop = self.rows_per_s["hashlib"]
+        for i, width in enumerate(self.widths):
+            if all(
+                vec[w] * scale >= loop[w] for w in self.widths[i:]
+            ):
+                return width
+        return None
+
+    def speedup(self, backend: str, width: int) -> float:
+        """Throughput of ``backend`` relative to the hashlib loop."""
+        base = self.rows_per_s["hashlib"].get(width)
+        other = self.rows_per_s.get(backend, {}).get(width)
+        if not base or not other:
+            return float("nan")
+        return other / base
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (benchmark reports, CI artifacts)."""
+        return {
+            "widths": list(self.widths),
+            "rows_per_s": {
+                name: {str(w): round(v, 1) for w, v in per.items()}
+                for name, per in self.rows_per_s.items()
+            },
+            "crossover_width": self.crossover_width,
+            "host_cores": self.host_cores,
+            "elapsed_s": round(self.elapsed_s, 4),
+        }
+
+
+def _bench_hash_many(kdf, rows: "np.ndarray", repeats: int) -> float:
+    """Best-of-``repeats`` rows/second for one oracle at one width."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        kdf.hash_many(rows)
+        best = min(best, time.perf_counter() - start)
+    return rows.shape[0] / best if best > 0 else float("inf")
+
+
+def calibrate_kdf(
+    widths: Tuple[int, ...] = CALIBRATION_WIDTHS,
+    repeats: int = 3,
+    include_aes: bool = False,
+) -> KDFCalibration:
+    """One-shot microbenchmark of every oracle backend on this host.
+
+    Hashes random ``label || tweak`` batches through each backend's
+    ``hash_many`` at each width and derives the hashlib/NumPy-kernel
+    crossover.  Purely a *timing* probe: the chosen backend computes the
+    identical digests, so calibration can never change garbled bytes.
+
+    Args:
+        widths: batch widths to sample.
+        repeats: timing repetitions per cell (best-of).
+        include_aes: also time the fixed-key-AES oracle (reporting only
+            — a different oracle is never auto-selected).
+
+    Returns:
+        A :class:`KDFCalibration`; ~50-100 ms of work for the defaults
+        (measured ~70 ms on the committing host).  The ``"auto"``
+        backend defers this until the first batch wide enough for the
+        choice to matter, so processes that never hash a wide level
+        never pay it.
+    """
+    start = time.perf_counter()
+    rng = np.random.default_rng(0xD5EC)
+    loop = HashKDF()
+    vec = VectorHashKDF(min_width=0)
+    backends = [("hashlib", loop), ("sha256_vec", vec)]
+    if include_aes:
+        backends.append(("fixed_key_aes", FixedKeyAES()))
+    rows_per_s: Dict[str, Dict[int, float]] = {n: {} for n, _ in backends}
+    for width in widths:
+        rows = rng.integers(0, 256, size=(width, ROW_BYTES), dtype=np.uint8)
+        for name, kdf in backends:
+            kdf.hash_many(rows[: min(width, 64)])  # warm scratch/caches
+            rows_per_s[name][width] = _bench_hash_many(kdf, rows, repeats)
+    cal = KDFCalibration(
+        widths=tuple(widths),
+        rows_per_s=rows_per_s,
+        crossover_width=None,
+        host_cores=os.cpu_count() or 1,
+        elapsed_s=time.perf_counter() - start,
+    )
+    # one decision rule, one implementation: the recorded single-thread
+    # crossover is the scale=1 case of the worker-scaled query
+    return dataclasses.replace(
+        cal, crossover_width=cal.crossover_for_scale(1.0)
+    )
+
+
+_calibration_lock = threading.Lock()
+_calibration: Optional[KDFCalibration] = None
+
+
+def kdf_calibration(force: bool = False) -> KDFCalibration:
+    """The process-wide cached :func:`calibrate_kdf` result."""
+    global _calibration
+    with _calibration_lock:
+        if _calibration is None or force:
+            _calibration = calibrate_kdf()
+        return _calibration
+
+
+def make_kdf(backend: str, **kwargs) -> HashKDF:
+    """Instantiate a registered oracle backend by name."""
+    try:
+        cls = KDF_BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown kdf backend {backend!r}; registered: "
+            f"{', '.join(sorted(KDF_BACKENDS))} (or 'auto')"
+        ) from None
+    return cls(**kwargs)
+
+
+class AutoHashKDF(VectorHashKDF):
+    """The ``"auto"`` backend: calibrates lazily, on first wide batch.
+
+    Construction is free.  Batches below the smallest calibration width
+    always take the hashlib loop (no crossover could favor the kernel
+    there, so no measurement is needed); the first batch at or above it
+    triggers the cached process-wide calibration and pins
+    :attr:`min_width` to the measured crossover (or effectively
+    infinity when the loop wins everywhere).  One-shot processes that
+    never hash a wide level never pay the calibration cost.
+
+    Args:
+        workers_hint: the ``kdf_workers`` this oracle will run under.
+            Calibration is single-threaded, but only the NumPy kernel
+            can use those workers (hashlib holds the GIL below 2KiB),
+            so ``min_width`` is pinned to the *per-chunk* crossover at
+            kernel-throughput x workers — on a multicore SHA-NI host,
+            where the loop wins single-threaded, ``auto`` still routes
+            :class:`ParallelKDF`'s chunk-split batches through the
+            kernel rather than silently discarding the cores.  Chunks
+            of batches too narrow to split fully land below the
+            crossover and fall back to the loop (GIL-parity, never a
+            regression).
+    """
+
+    def __init__(self, workers_hint: int = 1) -> None:
+        super().__init__(min_width=CALIBRATION_WIDTHS[0])
+        self.workers_hint = max(1, workers_hint)
+        self._resolved = False
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        if not self._resolved:
+            return "sha256-auto"
+        if self.min_width > _NEVER_VECTORIZE // 2:
+            return "sha256-auto[hashlib]"
+        return f"sha256-auto[vec>={self.min_width}]"
+
+    def hash_many(self, rows: "np.ndarray") -> "np.ndarray":
+        if not self._resolved and rows.shape[0] >= CALIBRATION_WIDTHS[0]:
+            cal = kdf_calibration()
+            scale = float(min(self.workers_hint, cal.host_cores))
+            cross = cal.crossover_for_scale(scale)
+            self.min_width = (
+                cross if cross is not None else _NEVER_VECTORIZE
+            )
+            self._resolved = True
+        return super().hash_many(rows)
+
+
+#: ``min_width`` sentinel meaning "calibration said the loop always wins".
+_NEVER_VECTORIZE = 1 << 62
+
+
+def resolve_kdf_backend(backend: str, workers: int = 1) -> HashKDF:
+    """Turn a config-facing backend name into an oracle instance.
+
+    ``"auto"`` returns a lazily self-calibrating SHA-256 oracle: the
+    cached host calibration runs on the first wide ``hash_many`` and
+    gates the NumPy kernel at the measured crossover width — scaled by
+    ``workers``, since only the GIL-releasing kernel can use them.
+    Either way the digests are identical, so ``auto`` is a pure speed
+    decision.  Explicit names skip calibration entirely.
+    """
+    if backend == "auto":
+        return AutoHashKDF(workers_hint=workers)
+    return make_kdf(backend)
 
 
 def default_kdf() -> HashKDF:

@@ -28,10 +28,16 @@ import numpy as np
 from ..errors import OTError
 from .ot import MODP_2048, OTGroup, run_ot_batch
 from .rng import rand_bits
+from .sha256_vec import sha256_many
 
 __all__ = ["extension_ot", "KAPPA"]
 
 KAPPA = 128
+
+#: Below this many transfers the per-row hashlib loop wins (the NumPy
+#: kernel's setup costs dominate tiny batches); at or above it all row
+#: hashes of a masking step run as one block-parallel SHA-256 batch.
+VEC_MIN_TRANSFERS = 64
 
 
 def _row_bytes(matrix: np.ndarray) -> List[bytes]:
@@ -48,6 +54,40 @@ def _hash_row(index: int, row: bytes, length: int) -> bytes:
         ).digest()
         counter += 1
     return out[:length]
+
+
+def _hash_rows(rows: np.ndarray, length: int) -> np.ndarray:
+    """Vectorized :func:`_hash_row` over every row of a packed matrix.
+
+    Builds the ``index || counter || row`` messages for all ``m`` rows
+    at once and pushes them through the block-parallel SHA-256 kernel —
+    byte-identical to the scalar hashlib loop, one batched call per
+    counter instead of one hashlib call per transfer.
+
+    Args:
+        rows: ``(m, row_bytes)`` uint8 packed matrix rows.
+        length: mask bytes needed per row (counter mode extends).
+
+    Returns:
+        ``(m, length)`` uint8 mask matrix.
+    """
+    m, row_len = rows.shape
+    if length == 0 or m == 0:
+        return np.empty((m, length), dtype=np.uint8)
+    batch = np.empty((m, 12 + row_len), dtype=np.uint8)
+    batch[:, :8] = (
+        np.arange(m, dtype=">u8").view(np.uint8).reshape(m, 8)
+    )
+    batch[:, 12:] = rows
+    chunks = []
+    for counter in range((length + 31) // 32):
+        batch[:, 8:12] = np.frombuffer(
+            counter.to_bytes(4, "big"), dtype=np.uint8
+        )
+        chunks.append(sha256_many(batch, out_len=32))
+    if len(chunks) == 1:
+        return chunks[0][:, :length]
+    return np.concatenate(chunks, axis=1)[:, :length]
 
 
 def _xor_bytes(a: bytes, b: bytes) -> bytes:
@@ -103,13 +143,38 @@ def extension_ot(
     ).astype(np.uint8)
     # --- sender masks the message pairs
     s_vector = np.array(s_bits, dtype=np.uint8)
+    for m0, m1 in pairs:
+        if len(m0) != len(m1):
+            raise OTError("message pair lengths must match")
+    length = len(pairs[0][0])
+    uniform = all(len(m0) == length for m0, _ in pairs)
+    if uniform and m >= VEC_MIN_TRANSFERS:
+        # fast path (the GC protocol's case: m label transfers, all 16
+        # bytes): every masking step is one batched row hash + one XOR
+        # over an (m, length) plane instead of 3m hashlib calls
+        q_packed = np.packbits(q_columns, axis=1)
+        qf_packed = np.packbits(q_columns ^ s_vector[None, :], axis=1)
+        m0_plane = np.frombuffer(
+            b"".join(m0 for m0, _ in pairs), dtype=np.uint8
+        ).reshape(m, length)
+        m1_plane = np.frombuffer(
+            b"".join(m1 for _, m1 in pairs), dtype=np.uint8
+        ).reshape(m, length)
+        y0_plane = m0_plane ^ _hash_rows(q_packed, length)
+        y1_plane = m1_plane ^ _hash_rows(qf_packed, length)
+        transferred = 2 * m * length + m * kappa // 8
+        # --- receiver unmasks
+        chosen = np.where(
+            (choice_bits != 0)[:, None], y1_plane, y0_plane
+        )
+        t_packed = np.packbits(t_matrix, axis=1)
+        out_plane = chosen ^ _hash_rows(t_packed, length)
+        return [out_plane[i].tobytes() for i in range(m)], transferred
     q_rows = _row_bytes(q_columns)
     q_rows_flipped = _row_bytes(q_columns ^ s_vector[None, :])
     masked: List[Tuple[bytes, bytes]] = []
     transferred = 0
     for i, (m0, m1) in enumerate(pairs):
-        if len(m0) != len(m1):
-            raise OTError("message pair lengths must match")
         y0 = _xor_bytes(m0, _hash_row(i, q_rows[i], len(m0)))
         y1 = _xor_bytes(m1, _hash_row(i, q_rows_flipped[i], len(m1)))
         masked.append((y0, y1))

@@ -36,7 +36,7 @@ from .compile.costmodel import CostBreakdown, GCCostModel
 from .engine import Backend, EngineConfig, PregarbledPool, get_backend
 from .engine.result import ExecutionResult
 from .errors import BatchInferenceError, CompileError
-from .gc.cipher import HashKDF
+from .gc.cipher import HashKDF, default_kdf
 from .gc.ot import OTGroup
 from .nn.model import Sequential
 from .nn.quantize import QuantizedModel
@@ -217,6 +217,19 @@ class PrivateInferenceService:
         if rng is not None:
             config_kwargs["rng"] = rng
         return EngineConfig(**config_kwargs)
+
+    @property
+    def kdf_name(self) -> str:
+        """Name of the garbling oracle actually serving requests.
+
+        Useful with ``kdf_backend="auto"``, where the host calibration
+        decides between the hashlib loop and the block-parallel NumPy
+        SHA-256 kernel (``"sha256"`` vs ``"sha256-vec"``; a
+        ``ParallelKDF`` wrapper prefixes ``"parallel-"``).
+        """
+        if self._kdf is None:
+            return default_kdf().name
+        return getattr(self._kdf, "name", type(self._kdf).__name__)
 
     # -- offline phase ----------------------------------------------------
 

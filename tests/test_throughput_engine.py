@@ -138,7 +138,12 @@ class TestParallelKDF:
             ParallelKDF(workers=-1)
 
     def test_engine_config_wiring(self):
-        assert EngineConfig(kdf_workers=1).effective_kdf() is None
+        # kdf_workers=1 never wraps; the resolved oracle is whatever the
+        # kdf_backend registry picked (PR 5: "auto" calibrates between
+        # the hashlib loop and the NumPy SHA-256 kernel — same digests)
+        unwrapped = EngineConfig(kdf_workers=1).effective_kdf()
+        assert not isinstance(unwrapped, ParallelKDF)
+        assert unwrapped is None or isinstance(unwrapped, HashKDF)
         wrapped = EngineConfig(kdf_workers=3).effective_kdf()
         assert isinstance(wrapped, ParallelKDF)
         assert wrapped.workers == 3

@@ -11,13 +11,12 @@ library" claim (Sec. 3.4):
 * the generalized half-gates basis (non-XOR invariance of lowering).
 """
 
-import pytest
 
 from repro.circuits import CircuitBuilder, FixedPointFormat
-from repro.circuits.activations import tanh_lut, tanh_cordic
+from repro.circuits.activations import tanh_lut
 from repro.circuits.arith import multiply_fixed, ripple_add
-from repro.circuits.sequential import SequentialBuilder
 from repro.circuits.arith import multiply_accumulate
+from repro.circuits.sequential import SequentialBuilder
 from repro.synthesis import lower_to_gc_basis, optimize
 
 from _bench_util import write_report

@@ -6,7 +6,6 @@ Also emits the Table 6-calibrated variant exposing the paper-internal
 inconsistency documented in DESIGN.md discrepancy #3.
 """
 
-import pytest
 
 from repro.analysis import ascii_plot, compute_delay_curves, find_crossover
 from repro.baselines import CryptoNetsCostModel

@@ -10,7 +10,6 @@ communication is workload-determined, not structure-determined).
 import random
 
 import numpy as np
-import pytest
 
 from repro.circuits import CircuitBuilder, FixedPointFormat
 from repro.circuits.arith import multiply_fixed_full, ripple_add, sign_extend

@@ -57,7 +57,7 @@ def test_scheme_ladder(benchmark, multiplier, results_dir):
 
 
 def test_all_schemes_agree(benchmark, multiplier):
-    from repro.circuits import bits_from_int, int_from_bits, simulate
+    from repro.circuits import bits_from_int, simulate
 
     a_bits = bits_from_int(3 * 4096 & 0xFFFF, 16)   # 3.0
     b_bits = bits_from_int(2 * 4096 & 0xFFFF, 16)   # 2.0

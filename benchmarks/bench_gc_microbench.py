@@ -8,13 +8,11 @@ protocol phases end to end.
 
 import random
 
-import pytest
 
 from repro.analysis import build_gate_chain, characterize
-from repro.circuits import CircuitBuilder
 from repro.compile import PAPER_COEFFICIENTS
 from repro.gc import Evaluator, Garbler, execute
-from repro.gc.cipher import FixedKeyAES, HashKDF
+from repro.gc.cipher import FixedKeyAES
 from repro.gc.ot import TEST_GROUP_512
 
 from _bench_util import write_report

@@ -33,6 +33,8 @@ import json
 import os
 import time
 
+import numpy as np
+
 from repro.cli import _demo_service
 from repro.gc import (
     FixedKeyAES,
@@ -44,8 +46,6 @@ from repro.gc import (
 from repro.gc.cipher import ROW_BYTES
 
 from _bench_util import quick_mode, record_trajectory, write_report
-
-import numpy as np
 
 #: sha256_vec hash_many vs the hashlib loop at the headline width; a
 #: *sanity* bar (kernel must stay in the loop's league even where
@@ -193,7 +193,7 @@ def test_end_to_end_auto_backend(results_dir):
         service.infer(x[0])
         best = float("inf")
         label = None
-        for i in range(reps):
+        for _ in range(reps):
             start = time.perf_counter()
             record = service.infer(x[1])
             best = min(best, time.perf_counter() - start)

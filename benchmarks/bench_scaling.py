@@ -12,7 +12,6 @@ import random
 import time
 
 import numpy as np
-import pytest
 
 from repro.circuits import FixedPointFormat
 from repro.compile import CompileOptions, compile_model

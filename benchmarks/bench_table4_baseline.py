@@ -6,7 +6,6 @@ numbers compose); the same architectures under *our measured* component
 costs show the preserved shape at a ~2.5x constant factor.
 """
 
-import pytest
 
 from repro.compile import (
     GCCostModel,

@@ -8,8 +8,6 @@ Two reproductions:
    run Algorithm 1 + pruning for real, compare achieved fold and accuracy.
 """
 
-import numpy as np
-import pytest
 
 from repro.compile import GCCostModel, PAPER_TABLE5, architecture_counts
 from repro.data import train_val_test_split

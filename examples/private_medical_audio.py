@@ -16,7 +16,6 @@ Run:  python examples/private_medical_audio.py
 
 import random
 
-import numpy as np
 
 from repro.circuits import FixedPointFormat
 from repro.compile import (

@@ -11,7 +11,6 @@ admits.
 Run:  python examples/streaming_smart_sensing.py
 """
 
-import numpy as np
 
 from repro.analysis import ascii_plot, compute_delay_curves
 from repro.compile import GCCostModel, architecture_counts

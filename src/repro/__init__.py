@@ -69,12 +69,6 @@ from . import (
     zoo,
 )
 from .engine import EngineConfig
-from .service import (
-    InferenceRecord,
-    InferenceRequest,
-    InferenceResult,
-    PrivateInferenceService,
-)
 from .errors import (
     CircuitError,
     CompileError,
@@ -87,6 +81,12 @@ from .errors import (
     ReproError,
     SynthesisError,
     TrainingError,
+)
+from .service import (
+    InferenceRecord,
+    InferenceRequest,
+    InferenceResult,
+    PrivateInferenceService,
 )
 
 __version__ = "1.1.0"

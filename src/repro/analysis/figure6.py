@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 from ..baselines.cryptonets import CryptoNetsCostModel
 from ..compile.paper_costs import CRYPTONETS_FIG6_LATENCY_S

@@ -13,7 +13,7 @@ the makespan, and renders an ASCII Gantt chart like the paper's figure.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from ..gc.sequential import SequentialResult
 

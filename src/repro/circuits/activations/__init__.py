@@ -7,8 +7,6 @@ harness can enumerate them.
 
 from typing import Callable, Dict
 
-from ..builder import Bus, CircuitBuilder
-from ..fixedpoint import FixedPointFormat
 from .common import apply_odd_symmetry, apply_point_symmetry, split_magnitude
 from .cordic import (
     CordicPlan,

@@ -18,12 +18,7 @@ from typing import Callable, List, Sequence, Tuple
 import numpy as np
 
 from ...errors import CircuitError
-from ..arith import (
-    conditional_add_sub,
-    less_than,
-    ripple_add,
-    shift_right_logic_const,
-)
+from ..arith import conditional_add_sub, less_than, ripple_add
 from ..builder import Bus, CircuitBuilder
 from ..fixedpoint import FixedPointFormat
 from .common import apply_odd_symmetry, apply_point_symmetry, split_magnitude

@@ -27,7 +27,7 @@ adds ``EQW`` copies to relocate outputs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+from typing import Dict, List
 
 from ..errors import CircuitError
 from .gates import Gate, GateType

@@ -16,13 +16,12 @@ combinational circuit for cross-checking.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import CircuitError
 from .builder import Bus, CircuitBuilder
 from .gates import Gate
 from .netlist import CONST_ONE, CONST_ZERO, Circuit
-from .simulate import simulate
 
 __all__ = ["Register", "SequentialCircuit", "SequentialBuilder"]
 

@@ -27,7 +27,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits.activations import VARIANT_CIRCUITS, VARIANTS, hyperbolic_plan
+from ..circuits.activations import VARIANT_CIRCUITS, VARIANTS
+from ..circuits.activations.piecewise import constant_multiply_positive
 from ..circuits.arith import (
     multiply_fixed_full,
     relu as relu_circuit,
@@ -35,12 +36,11 @@ from ..circuits.arith import (
     saturate_to_width,
     sign_extend,
 )
+from ..circuits.arith import absolute, conditional_negate
 from ..circuits.builder import Bus, CircuitBuilder
 from ..circuits.fixedpoint import FixedPointFormat
 from ..circuits.logic import argmax_tree, max_tree
 from ..circuits.netlist import Circuit
-from ..circuits.activations.piecewise import constant_multiply_positive
-from ..circuits.arith import absolute, conditional_negate, truncate
 from ..errors import CompileError
 from ..nn.quantize import QuantizedConv2D, QuantizedDense, QuantizedModel
 

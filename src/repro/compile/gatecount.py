@@ -12,9 +12,8 @@ the test suite).
 from __future__ import annotations
 
 import dataclasses
-import math
 from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import Tuple
 
 from ..circuits import CircuitBuilder, FixedPointFormat
 from ..circuits.activations import VARIANTS
@@ -23,7 +22,6 @@ from ..circuits.arith import (
     relu as relu_circuit,
     ripple_add,
     saturate_to_width,
-    sign_extend,
 )
 from ..circuits.logic import max_tree
 from ..circuits.netlist import GateCounts

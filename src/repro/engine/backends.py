@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 import secrets
 import time
-from typing import Dict, List, Optional, Sequence, Type
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type
 
 from ..circuits.netlist import Circuit
 from ..circuits.sequential import SequentialCircuit
@@ -33,6 +33,7 @@ from ..gc.fastgarble import FastEvaluator
 from ..gc.ot import MODP_2048, OTGroup
 from ..gc.outsourcing import OutsourcedSession
 from ..gc.protocol import TwoPartySession, transfer_input_labels
+from ..gc.rng import RngLike
 from ..gc.sequential import SequentialSession
 from .pool import PregarbledPool
 from .result import ExecutionResult
@@ -74,7 +75,7 @@ class Backend:
         self,
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
-        rng=secrets,
+        rng: RngLike = secrets,
         vectorized: bool = True,
     ) -> None:
         self.kdf = kdf
@@ -95,7 +96,7 @@ class Backend:
 _REGISTRY: Dict[str, Type[Backend]] = {}
 
 
-def register_backend(name: str):
+def register_backend(name: str) -> Callable[[Type[Backend]], Type[Backend]]:
     """Class decorator: expose a :class:`Backend` under ``name``."""
 
     def decorator(cls: Type[Backend]) -> Type[Backend]:
@@ -111,7 +112,7 @@ def available_backends() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def get_backend(name: str, **options) -> Backend:
+def get_backend(name: str, **options: Any) -> Backend:
     """Instantiate a registered backend by name.
 
     Args:
@@ -141,7 +142,7 @@ def run(
     client_bits: Sequence[int],
     server_bits: Sequence[int],
     backend: str = "two_party",
-    **options,
+    **options: Any,
 ) -> ExecutionResult:
     """One-call execution through any registered backend."""
     return get_backend(backend, **options).run(circuit, client_bits, server_bits)
@@ -166,7 +167,7 @@ class TwoPartyBackend(Backend):
         self,
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
-        rng=secrets,
+        rng: RngLike = secrets,
         vectorized: bool = True,
         pool: Optional[PregarbledPool] = None,
     ) -> None:
@@ -177,7 +178,12 @@ class TwoPartyBackend(Backend):
             raise EngineError("pool must be a PregarbledPool (or None)")
         self.pool = pool
 
-    def run(self, circuit, client_bits, server_bits) -> ExecutionResult:
+    def run(
+        self,
+        circuit: Circuit,
+        client_bits: Sequence[int],
+        server_bits: Sequence[int],
+    ) -> ExecutionResult:
         # validate widths before touching the pool so a malformed request
         # cannot burn a single-use pre-garbled unit
         if len(client_bits) != circuit.n_alice:
@@ -265,7 +271,12 @@ class TwoPartyBackend(Backend):
 class OutsourcedBackend(Backend):
     """XOR-share proxy flow for constrained clients (Sec. 3.3, Fig. 4)."""
 
-    def run(self, circuit, client_bits, server_bits) -> ExecutionResult:
+    def run(
+        self,
+        circuit: Circuit,
+        client_bits: Sequence[int],
+        server_bits: Sequence[int],
+    ) -> ExecutionResult:
         session = OutsourcedSession(
             circuit, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng
         )
@@ -294,7 +305,12 @@ class FoldedBackend(Backend):
     carried-label-plane engine by default.
     """
 
-    def run(self, circuit, client_bits, server_bits) -> ExecutionResult:
+    def run(
+        self,
+        circuit: Circuit,
+        client_bits: Sequence[int],
+        server_bits: Sequence[int],
+    ) -> ExecutionResult:
         if circuit.n_state:
             raise EngineError(
                 "folded backend expects a combinational compiled circuit"
@@ -347,7 +363,7 @@ class CutAndChooseBackend(Backend):
         self,
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
-        rng=secrets,
+        rng: RngLike = secrets,
         vectorized: bool = True,
         copies: int = 3,
     ) -> None:
@@ -361,7 +377,12 @@ class CutAndChooseBackend(Backend):
             return self.rng.randrange(self.copies)
         return secrets.randbelow(self.copies)
 
-    def run(self, circuit, client_bits, server_bits) -> ExecutionResult:
+    def run(
+        self,
+        circuit: Circuit,
+        client_bits: Sequence[int],
+        server_bits: Sequence[int],
+    ) -> ExecutionResult:
         times: Dict[str, float] = {}
 
         # garbler: k committed, seed-derived garblings.  The seed source
@@ -443,7 +464,12 @@ class CutAndChooseBackend(Backend):
 class SimulateBackend(Backend):
     """Plaintext reference execution — no crypto, for tests and sizing."""
 
-    def run(self, circuit, client_bits, server_bits) -> ExecutionResult:
+    def run(
+        self,
+        circuit: Circuit,
+        client_bits: Sequence[int],
+        server_bits: Sequence[int],
+    ) -> ExecutionResult:
         start = time.perf_counter()
         outputs = simulate(circuit, client_bits, server_bits)
         elapsed = time.perf_counter() - start

@@ -173,6 +173,6 @@ class EngineConfig:
             honor_sparsity=self.honor_sparsity,
         )
 
-    def replace(self, **changes) -> "EngineConfig":
+    def replace(self, **changes: Any) -> "EngineConfig":
         """A copy with some fields changed (frozen-dataclass helper)."""
         return dataclasses.replace(self, **changes)

@@ -40,6 +40,7 @@ from ..errors import EngineError
 from ..gc.cipher import HashKDF
 from ..gc.ot import MODP_2048, OTGroup
 from ..gc.protocol import Pregarbled, TwoPartySession
+from ..gc.rng import RngLike
 
 __all__ = ["PregarbledPool", "REFILL_POLICIES"]
 
@@ -76,7 +77,7 @@ class PregarbledPool:
         capacity: int = 8,
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
-        rng=secrets,
+        rng: RngLike = secrets,
         vectorized: bool = True,
         refill: str = "none",
         low_watermark: Optional[int] = None,
@@ -123,7 +124,8 @@ class PregarbledPool:
             self._refill_thread.start()
 
     def __len__(self) -> int:
-        return len(self._items)
+        with self._lock:
+            return len(self._items)
 
     # -- offline phase ----------------------------------------------------
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 from ..gc.protocol import ProtocolResult
 
@@ -45,7 +45,7 @@ class ExecutionResult:
         cls,
         result: ProtocolResult,
         backend: str,
-        metadata: Dict[str, object] = None,
+        metadata: Optional[Mapping[str, object]] = None,
     ) -> "ExecutionResult":
         """Adapt a two-party :class:`ProtocolResult`."""
         return cls(

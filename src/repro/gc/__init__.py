@@ -6,7 +6,6 @@ garbling and XOR-sharing outsourcing.
 """
 
 from .channel import Channel, ChannelStats, make_channel_pair
-from .cutandchoose import CutAndChooseGarbler, OpenedCopy, verify_opened_copy
 from .cipher import (
     KDF_BACKENDS,
     LABEL_BITS,
@@ -21,7 +20,7 @@ from .cipher import (
     make_kdf,
     resolve_kdf_backend,
 )
-from .sha256_vec import sha256_many
+from .cutandchoose import CutAndChooseGarbler, OpenedCopy, verify_opened_copy
 from .evaluate import Evaluator
 from .fastgarble import FastEvaluator, FastGarbler, LabelPlane, garble_many
 from .garble import GarbledCircuit, GarbledGate, Garbler
@@ -38,6 +37,7 @@ from .protocol import (
 )
 from .rowreduce import ROWS_PER_GATE, RowGarbled, evaluate_rows, garble_rows
 from .sequential import SequentialResult, SequentialSession
+from .sha256_vec import sha256_many
 
 __all__ = [
     "Garbler",

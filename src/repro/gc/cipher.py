@@ -22,7 +22,7 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,7 +50,7 @@ LABEL_MASK = (1 << LABEL_BITS) - 1
 ROW_BYTES = 24
 
 
-def _hash_many_fallback(kdf, rows: "np.ndarray") -> "np.ndarray":
+def _hash_many_fallback(kdf: "HashKDF", rows: "np.ndarray") -> "np.ndarray":
     """Row-by-row :meth:`hash` over a stacked ``(n, 24)`` uint8 buffer.
 
     Generic bridge for oracles without a native batch path (e.g. the
@@ -150,7 +150,7 @@ class VectorHashKDF(HashKDF):
     #: Fallback crossover when constructed without calibration.
     DEFAULT_MIN_WIDTH = 1024
 
-    def __init__(self, min_width: Optional[int] = None):
+    def __init__(self, min_width: Optional[int] = None) -> None:
         self.min_width = (
             self.DEFAULT_MIN_WIDTH if min_width is None else max(0, min_width)
         )
@@ -237,7 +237,7 @@ class FixedKeyAES:
 
     name = "fixed-key-aes"
 
-    def __init__(self, key: bytes = b"DeepSecure-fixed"):
+    def __init__(self, key: bytes = b"DeepSecure-fixed") -> None:
         if len(key) != 16:
             raise ValueError("AES-128 key must be 16 bytes")
         self._round_keys = _expand_key(key)
@@ -384,7 +384,7 @@ class ParallelKDF:
         kdf: Optional[object] = None,
         workers: int = 0,
         min_rows_per_worker: int = 256,
-    ):
+    ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.inner = kdf if kdf is not None else HashKDF()
@@ -536,7 +536,7 @@ class KDFCalibration:
         }
 
 
-def _bench_hash_many(kdf, rows: "np.ndarray", repeats: int) -> float:
+def _bench_hash_many(kdf: "HashKDF", rows: "np.ndarray", repeats: int) -> float:
     """Best-of-``repeats`` rows/second for one oracle at one width."""
     best = float("inf")
     for _ in range(repeats):
@@ -611,7 +611,7 @@ def kdf_calibration(force: bool = False) -> KDFCalibration:
         return _calibration
 
 
-def make_kdf(backend: str, **kwargs) -> HashKDF:
+def make_kdf(backend: str, **kwargs: Any) -> HashKDF:
     """Instantiate a registered oracle backend by name."""
     try:
         cls = KDF_BACKENDS[backend]

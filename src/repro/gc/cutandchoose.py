@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import random
+import secrets
 from typing import List, Optional, Sequence, Tuple
 
 from ..circuits.netlist import Circuit
@@ -28,6 +29,7 @@ from ..errors import GarblingError
 from .cipher import HashKDF, default_kdf
 from .fastgarble import garble_many
 from .garble import GarbledCircuit, Garbler
+from .rng import RngLike, rand_bits
 
 __all__ = ["OpenedCopy", "CutAndChooseGarbler", "verify_opened_copy"]
 
@@ -78,15 +80,17 @@ class CutAndChooseGarbler:
         circuit: Circuit,
         copies: int = 4,
         kdf: Optional[HashKDF] = None,
-        rng=None,
+        rng: Optional[RngLike] = None,
         vectorized: bool = True,
     ) -> None:
         if copies < 2:
             raise GarblingError("cut-and-choose needs at least 2 copies")
         self.circuit = circuit
         self.kdf = kdf or default_kdf()
-        rng = rng or random.Random()
-        self.seeds = [rng.getrandbits(128) for _ in range(copies)]
+        # seeds are key material: the default source is the secrets
+        # CSPRNG; tests inject a seeded random.Random explicitly
+        rng = rng or secrets
+        self.seeds = [rand_bits(rng, 128) for _ in range(copies)]
         self.garblers: List[Garbler] = []
         self.garbled: List[GarbledCircuit] = []
         if vectorized:

@@ -28,16 +28,17 @@ verify across paths.
 from __future__ import annotations
 
 import secrets
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..circuits.netlist import CONST_ONE, CONST_ZERO, Circuit
+from ..circuits.netlist import CONST_ONE, CONST_ZERO, Circuit, ScheduleLevel
 from ..errors import GarblingError
 from .cipher import HashKDF, _hash_many_fallback, default_kdf
 from .evaluate import Evaluator
 from .garble import GarbledCircuit, Garbler, LazyTables
 from .labels import ArrayLabelStore, _label_row
+from .rng import RngLike
 
 __all__ = ["FastGarbler", "FastEvaluator", "LabelPlane", "garble_copies",
            "garble_many"]
@@ -64,7 +65,9 @@ def _tweak_bytes(tweaks: np.ndarray) -> np.ndarray:
     return tweaks.astype("<u8").view(np.uint8).reshape(-1, 8)
 
 
-def _level_tweaks(level, tweak_base: int):
+def _level_tweaks(
+    level: "ScheduleLevel", tweak_base: int
+) -> Tuple[np.ndarray, np.ndarray]:
     """The level's (a, b) tweak byte rows; cached form for base 0."""
     if tweak_base == 0:
         return level.tw0_a, level.tw0_b
@@ -349,8 +352,8 @@ def garble_many(
     circuit: Circuit,
     count: Optional[int] = None,
     kdf: Optional[HashKDF] = None,
-    rng=secrets,
-    rngs: Optional[Sequence] = None,
+    rng: RngLike = secrets,
+    rngs: Optional[Sequence[RngLike]] = None,
     tweak_base: int = 0,
 ) -> List[Tuple[Garbler, GarbledCircuit]]:
     """Batch-garble independent copies of ``circuit`` (vectorized).
@@ -400,7 +403,7 @@ class FastGarbler(Garbler):
         circuit: Circuit,
         kdf: Optional[HashKDF] = None,
         label_store: Optional[ArrayLabelStore] = None,
-        rng=secrets,
+        rng: RngLike = secrets,
     ) -> None:
         if label_store is not None and not isinstance(
             label_store, ArrayLabelStore
@@ -435,10 +438,10 @@ class LabelPlane:
     def __len__(self) -> int:
         return self.n_wires
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(range(self.n_wires))
 
-    def __contains__(self, wire) -> bool:
+    def __contains__(self, wire: object) -> bool:
         return isinstance(wire, int) and 0 <= wire < self.n_wires
 
     def get(self, wire: int, default: Optional[int] = None) -> Optional[int]:
@@ -593,7 +596,11 @@ class FastEvaluator(Evaluator):
                     plane[out_w] = _label_row(wg ^ we)
         return LabelPlane(plane, circuit.n_wires)
 
-    def _fill_state(self, plane: np.ndarray, state_labels) -> None:
+    def _fill_state(
+        self,
+        plane: np.ndarray,
+        state_labels: Union[Sequence[int], np.ndarray, None],
+    ) -> None:
         """Write carried-over state labels into a plane.
 
         Accepts the int sequence of the scalar contract or an

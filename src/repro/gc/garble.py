@@ -21,13 +21,17 @@ from __future__ import annotations
 import dataclasses
 import secrets
 from collections.abc import Sequence as SequenceABC
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
-from ..circuits.gates import AND_REDUCTION, GateType
+from ..circuits.gates import AND_REDUCTION, Gate, GateType
 from ..circuits.netlist import CONST_ONE, CONST_ZERO, Circuit
 from ..errors import GarblingError
 from .cipher import HashKDF, default_kdf
 from .labels import ArrayLabelStore, LabelStore, permute_bit
+
+if TYPE_CHECKING:
+    import numpy as np
+from .rng import RngLike
 
 __all__ = ["GarbledGate", "GarbledCircuit", "Garbler", "LazyTables"]
 
@@ -66,7 +70,7 @@ class LazyTables(SequenceABC):
 
     __slots__ = ("plane",)
 
-    def __init__(self, plane) -> None:
+    def __init__(self, plane: "np.ndarray") -> None:
         if plane.ndim != 2 or plane.shape[1] != 32:
             raise GarblingError("table plane must be (n, 32) bytes")
         self.plane = plane
@@ -74,7 +78,9 @@ class LazyTables(SequenceABC):
     def __len__(self) -> int:
         return len(self.plane)
 
-    def __getitem__(self, index):
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union["GarbledGate", List["GarbledGate"]]:
         if isinstance(index, slice):
             return [self[i] for i in range(*index.indices(len(self)))]
         row = self.plane[index]
@@ -143,7 +149,7 @@ class Garbler:
         circuit: Circuit,
         kdf: Optional[HashKDF] = None,
         label_store: Optional[LabelStore] = None,
-        rng=secrets,
+        rng: RngLike = secrets,
         vectorized: bool = False,
     ) -> None:
         self.circuit = circuit
@@ -238,7 +244,7 @@ class Garbler:
 
     # -- half-gates core ---------------------------------------------------
 
-    def _garble_and_reduced(self, gate, tweak: int) -> Tuple[GarbledGate, int]:
+    def _garble_and_reduced(self, gate: Gate, tweak: int) -> Tuple[GarbledGate, int]:
         """Garble a non-free gate via its AND-with-inversions reduction."""
         inv = AND_REDUCTION.get(gate.op)
         if inv is None:

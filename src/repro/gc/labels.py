@@ -10,13 +10,13 @@ tables, and the LSB of any label a valid permute bit.
 from __future__ import annotations
 
 import secrets
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import GarblingError
 from .cipher import LABEL_MASK
-from .rng import rand_bits
+from .rng import RngLike, rand_bits
 
 __all__ = [
     "random_label",
@@ -27,12 +27,12 @@ __all__ = [
 ]
 
 
-def random_label(rng=secrets) -> int:
+def random_label(rng: RngLike = secrets) -> int:
     """A fresh uniformly random 128-bit label."""
     return rand_bits(rng, 128)
 
 
-def random_delta(rng=secrets) -> int:
+def random_delta(rng: RngLike = secrets) -> int:
     """The global free-XOR offset; LSB forced to 1 for point-and-permute."""
     return rand_bits(rng, 128) | 1
 
@@ -49,7 +49,7 @@ class LabelStore:
     delta never leaves this object.
     """
 
-    def __init__(self, delta: int = None, rng=secrets) -> None:
+    def __init__(self, delta: Optional[int] = None, rng: RngLike = secrets) -> None:
         self.delta = delta if delta is not None else random_delta(rng)
         if not self.delta & 1:
             raise GarblingError("delta must have LSB 1 (point-and-permute)")
@@ -125,7 +125,12 @@ class ArrayLabelStore:
     scalar store.
     """
 
-    def __init__(self, n_wires: int, delta: int = None, rng=secrets) -> None:
+    def __init__(
+        self,
+        n_wires: int,
+        delta: Optional[int] = None,
+        rng: RngLike = secrets,
+    ) -> None:
         if n_wires < 2:
             raise GarblingError("label plane needs at least the const wires")
         self.delta = delta if delta is not None else random_delta(rng)
@@ -194,7 +199,7 @@ class ArrayLabelStore:
         """Bulk defined-flag update after a vectorized scatter."""
         self._defined[wires] = True
 
-    def zero_rows(self, wires) -> np.ndarray:
+    def zero_rows(self, wires: Union[Sequence[int], np.ndarray]) -> np.ndarray:
         """Zero-label byte rows of ``wires`` as one owned ``(n, 16)`` copy.
 
         The array form of sequential state carry-over: the folded
@@ -210,7 +215,9 @@ class ArrayLabelStore:
                 raise GarblingError("zero_rows on wires without labels")
         return self.plane[idx].copy()
 
-    def set_zero_rows(self, wires, rows: np.ndarray) -> None:
+    def set_zero_rows(
+        self, wires: Union[Sequence[int], np.ndarray], rows: np.ndarray
+    ) -> None:
         """Store caller-provided zero-label rows (array state carry)."""
         idx = np.asarray(wires, dtype=np.intp)
         if idx.size and not ((0 <= idx).all() and (idx < self.n_wires).all()):

@@ -19,7 +19,7 @@ import secrets
 from typing import List, Sequence, Tuple
 
 from ..errors import OTError
-from .rng import rand_below
+from .rng import RngLike, rand_below
 
 __all__ = ["OTGroup", "MODP_2048", "TEST_GROUP_512", "OTSender", "OTReceiver", "run_ot_batch"]
 
@@ -32,7 +32,7 @@ class OTGroup:
     generator: int
     name: str = "modp"
 
-    def random_exponent(self, rng=secrets) -> int:
+    def random_exponent(self, rng: RngLike = secrets) -> int:
         """Uniform exponent in [1, p-2]."""
         return rand_below(rng, self.prime - 2) + 1
 
@@ -92,7 +92,7 @@ class OTSender:
         self,
         pairs: Sequence[Tuple[bytes, bytes]],
         group: OTGroup = MODP_2048,
-        rng=secrets,
+        rng: RngLike = secrets,
     ) -> None:
         for m0, m1 in pairs:
             if len(m0) != len(m1):
@@ -136,7 +136,7 @@ class OTReceiver:
         self,
         choices: Sequence[int],
         group: OTGroup = MODP_2048,
-        rng=secrets,
+        rng: RngLike = secrets,
     ) -> None:
         self.choices = [c & 1 for c in choices]
         self.group = group
@@ -183,7 +183,7 @@ def run_ot_batch(
     pairs: Sequence[Tuple[bytes, bytes]],
     choices: Sequence[int],
     group: OTGroup = MODP_2048,
-    rng=secrets,
+    rng: RngLike = secrets,
 ) -> List[bytes]:
     """Run the whole OT locally (both roles); used by tests and the
     in-process protocol driver."""

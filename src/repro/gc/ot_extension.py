@@ -27,7 +27,7 @@ import numpy as np
 
 from ..errors import OTError
 from .ot import MODP_2048, OTGroup, run_ot_batch
-from .rng import rand_bits
+from .rng import RngLike, rand_bits
 from .sha256_vec import sha256_many
 
 __all__ = ["extension_ot", "KAPPA"]
@@ -98,7 +98,7 @@ def extension_ot(
     pairs: Sequence[Tuple[bytes, bytes]],
     choices: Sequence[int],
     group: OTGroup = MODP_2048,
-    rng=secrets,
+    rng: RngLike = secrets,
     kappa: int = KAPPA,
 ) -> Tuple[List[bytes], int]:
     """Run IKNP extension locally (both roles in-process).

@@ -23,12 +23,12 @@ from ..errors import ProtocolError
 from .cipher import HashKDF
 from .ot import MODP_2048, OTGroup
 from .protocol import ProtocolResult, TwoPartySession
-from .rng import rand_bits
+from .rng import RngLike, rand_bits
 
 __all__ = ["split_input", "outsource_circuit", "OutsourcedSession"]
 
 
-def split_input(bits: Sequence[int], rng=secrets) -> Tuple[List[int], List[int]]:
+def split_input(bits: Sequence[int], rng: RngLike = secrets) -> Tuple[List[int], List[int]]:
     """One-time-pad share a bit vector: returns ``(s, x ^ s)``.
 
     Each share on its own is uniformly random (Prop. 3.2), so neither
@@ -112,7 +112,7 @@ class OutsourcedSession:
         circuit: Circuit,
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
-        rng=secrets,
+        rng: RngLike = secrets,
     ) -> None:
         self.original = circuit
         self.transformed = outsource_circuit(circuit)

@@ -28,6 +28,7 @@ from .fastgarble import FastEvaluator, garble_many
 from .garble import GarbledCircuit, Garbler, LazyTables
 from .ot import MODP_2048, OTGroup
 from .ot_extension import extension_ot
+from .rng import RngLike
 
 __all__ = [
     "Pregarbled",
@@ -136,7 +137,7 @@ class TwoPartySession:
         circuit: Circuit,
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
-        rng=secrets,
+        rng: RngLike = secrets,
         vectorized: bool = True,
     ) -> None:
         if circuit.n_state:
@@ -458,7 +459,9 @@ class TwoPartySession:
 
     # -- helpers -------------------------------------------------------------
 
-    def _parse_tables(self, blob: bytes, garbled) -> "GarbledCircuitView":
+    def _parse_tables(
+        self, blob: bytes, garbled: GarbledCircuit
+    ) -> "GarbledCircuitView":
         """Rebuild the evaluator's view from the wire blob.
 
         Deserializing (rather than handing Bob the garbler's object)
@@ -510,7 +513,7 @@ def transfer_input_labels(
     wires: Sequence[int],
     bits: Sequence[int],
     group: OTGroup = MODP_2048,
-    rng=secrets,
+    rng: RngLike = secrets,
     stats: Optional[ChannelStats] = None,
 ) -> Tuple[List[int], int]:
     """Transfer the evaluator's input labels obliviously.
@@ -577,7 +580,7 @@ def execute(
     bob_bits: Sequence[int],
     kdf: Optional[HashKDF] = None,
     ot_group: OTGroup = MODP_2048,
-    rng=secrets,
+    rng: RngLike = secrets,
     share_result: bool = False,
 ) -> ProtocolResult:
     """One-call secure evaluation of ``circuit`` (Fig. 3 flow)."""

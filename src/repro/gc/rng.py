@@ -2,15 +2,25 @@
 
 Production code passes ``secrets`` (CSPRNG); tests pass a seeded
 ``random.Random`` for reproducibility.  The two expose slightly
-different method names, hence this shim.
+different method names, hence this shim.  L002 (rng-discipline) bans
+module-global RNG state inside gc//circuits/, so every draw in the
+garbling boundary flows through these adapters on an *injected* object.
 """
 
 from __future__ import annotations
 
-__all__ = ["rand_bits", "rand_below"]
+from typing import Any
+
+__all__ = ["RngLike", "rand_bits", "rand_below"]
+
+#: An injected randomness source: the ``secrets`` module, a seeded
+#: ``random.Random``, or anything exposing ``randbits``/``getrandbits``
+#: and ``randbelow``/``randrange``.  Kept as ``Any`` because the two
+#: standard sources share no protocol type.
+RngLike = Any
 
 
-def rand_bits(rng, bits: int) -> int:
+def rand_bits(rng: RngLike, bits: int) -> int:
     """Uniform integer with ``bits`` random bits."""
     fn = getattr(rng, "randbits", None)
     if fn is None:
@@ -18,7 +28,7 @@ def rand_bits(rng, bits: int) -> int:
     return fn(bits)
 
 
-def rand_below(rng, bound: int) -> int:
+def rand_below(rng: RngLike, bound: int) -> int:
     """Uniform integer in ``[0, bound)``."""
     fn = getattr(rng, "randbelow", None)
     if fn is None:

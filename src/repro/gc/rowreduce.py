@@ -31,6 +31,7 @@ from ..circuits.gates import GateType
 from ..circuits.netlist import CONST_ONE, CONST_ZERO, Circuit
 from ..errors import GarblingError
 from .labels import LabelStore, permute_bit
+from .rng import RngLike
 
 __all__ = ["RowGarbled", "garble_rows", "evaluate_rows", "ROWS_PER_GATE"]
 
@@ -72,7 +73,7 @@ class RowGarbled:
 def garble_rows(
     circuit: Circuit,
     scheme: str = "grr3",
-    rng=secrets,
+    rng: RngLike = secrets,
 ) -> Tuple[LabelStore, RowGarbled]:
     """Garble with the classic four-row or GRR3 three-row scheme.
 

@@ -28,13 +28,13 @@ import dataclasses
 import secrets
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..circuits.sequential import SequentialCircuit
 from ..errors import GarblingError, ProtocolError
-from .channel import make_channel_pair
+from .channel import ChannelStats, make_channel_pair
 from .cipher import HashKDF, default_kdf
 from .evaluate import Evaluator
 from .fastgarble import FastEvaluator
@@ -42,6 +42,7 @@ from .garble import Garbler, GarbledCircuit, GarbledGate, LazyTables
 from .labels import ArrayLabelStore, LabelStore
 from .ot import MODP_2048, OTGroup
 from .ot_extension import extension_ot
+from .rng import RngLike
 
 __all__ = ["SequentialResult", "SequentialSession"]
 
@@ -92,7 +93,7 @@ class SequentialSession:
         sequential: SequentialCircuit,
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
-        rng=secrets,
+        rng: RngLike = secrets,
         vectorized: bool = True,
         pipelined: bool = False,
     ) -> None:
@@ -138,10 +139,16 @@ class SequentialSession:
         alice_wires = list(core.alice_inputs)
         bob_wires = list(core.bob_inputs)
 
-        def cycle_bits(per_cycle, cycle, width):
+        def cycle_bits(
+            per_cycle: Sequence[Sequence[int]], cycle: int, width: int
+        ) -> List[int]:
             return SequentialCircuit._cycle_input(per_cycle, cycle, width)
 
-        def garble_cycle(cycle: int, state_zero, tweak: int) -> dict:
+        def garble_cycle(
+            cycle: int,
+            state_zero: Union[Sequence[int], np.ndarray, None],
+            tweak: int,
+        ) -> dict:
             """Garble one cycle and snapshot everything later phases need.
 
             The next cycle's garbling reuses (and overwrites) the same
@@ -326,7 +333,12 @@ class SequentialSession:
                 raise GarblingError("label does not belong to an output wire")
         return bits
 
-    def _oblivious_transfer(self, pairs, bits, stats) -> List[int]:
+    def _oblivious_transfer(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        bits: Sequence[int],
+        stats: ChannelStats,
+    ) -> List[int]:
         if len(pairs) != len(bits):
             raise ProtocolError("Bob's input width mismatch")
         if not pairs:

@@ -93,8 +93,8 @@ _INIT_RING = np.array(
 )[:, :, None]
 
 #: Digest word order ``a..h`` -> ring (slot, lane) indices.
-_DIGEST_SLOTS = np.array([0, 3, 2, 1, 0, 3, 2, 1])
-_DIGEST_LANES = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+_DIGEST_SLOTS = np.array([0, 3, 2, 1, 0, 3, 2, 1], dtype=np.intp)
+_DIGEST_LANES = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.intp)
 
 # Shift-amount columns, one batched (3, 1)-broadcast call per sigma.
 # NumPy's shift inner loops only run at full speed on 2D broadcasts
@@ -281,7 +281,7 @@ def _compress(s: _Scratch) -> None:
     # seed the ch/maj factorizations: f^g and b^c of round 0
     bx(ring[3], ring[2], out=XY[1])  # [b0 ^ c0, f0 ^ g0] = [y, xfg]
     p = 1
-    for (Wt, slab, slab1, a, e, f, g, h, b, d) in s.round_plan:
+    for (Wt, slab, slab1, a, e, _f, g, h, b, d) in s.round_plan:
         yx_prev = XY[p]
         yx_cur = XY[p ^ 1]
         p ^= 1

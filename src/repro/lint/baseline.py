@@ -1,0 +1,65 @@
+"""Baseline (grandfathering) support for the linter.
+
+A baseline file freezes a set of *known* findings so the gate can be
+turned on while legacy violations are paid down: a run fails only on
+findings **not** in the baseline.  Matching is by :attr:`Finding.key`
+(``rule::path::message`` — line-independent, so unrelated edits to a
+file do not resurrect grandfathered entries).
+
+The committed project baseline (``lint_baseline.json``) is expected to
+stay empty or near-empty; every entry carries a ``justification`` field
+explaining why the finding is tolerated rather than fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Sequence, Set, Union
+
+from .core import Finding
+
+__all__ = ["load_baseline", "save_baseline", "suppressed", "new_findings"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Union[str, pathlib.Path]) -> Set[str]:
+    """Suppression keys from a baseline file (missing file = empty set)."""
+    file = pathlib.Path(path)
+    if not file.exists():
+        return set()
+    data = json.loads(file.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{file}: not a lint baseline (no 'findings' key)")
+    keys: Set[str] = set()
+    for entry in data["findings"]:
+        keys.add(f"{entry['rule']}::{entry['path']}::{entry['message']}")
+    return keys
+
+
+def save_baseline(
+    findings: Sequence[Finding], path: Union[str, pathlib.Path]
+) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable diffs)."""
+    entries: List[Dict[str, object]] = []
+    for finding in sorted(findings):
+        entry = finding.to_json()
+        entry["justification"] = ""
+        entries.append(entry)
+    payload = {"version": _VERSION, "findings": entries}
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def suppressed(finding: Finding, baseline: Set[str]) -> bool:
+    """Whether ``finding`` is grandfathered by ``baseline``."""
+    return finding.key in baseline
+
+
+def new_findings(
+    findings: Sequence[Finding], baseline: Set[str]
+) -> List[Finding]:
+    """The findings a gated run fails on (not covered by the baseline)."""
+    return [f for f in findings if f.key not in baseline]

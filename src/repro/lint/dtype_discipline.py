@@ -1,0 +1,116 @@
+"""L004 — NumPy dtype discipline in the vectorized gc kernels.
+
+``sha256_vec.py``, ``fastgarble.py``, ``cipher.py`` and
+``ot_extension.py`` do all their work in uint8/uint32 lanes where
+*wraparound is the algorithm* (SHA-256 adds mod 2^32, label XOR planes).
+A ``np.array([...])`` without ``dtype=`` silently materializes int64,
+and an arithmetic mix with such an array promotes every uint lane to
+int64 — 8x the memory traffic and, worse, no wraparound.  The kernels
+only stay correct because every allocation pins its dtype; this rule
+makes that convention mechanical:
+
+* allocation calls (``np.array/zeros/empty/ones/full/arange``) must pass
+  ``dtype`` — keyword or the documented positional slot both count;
+* arithmetic (``+ - * & | ^``) directly on a dtype-less
+  ``np.array(...)``/``np.arange(...)`` operand is flagged as a silent
+  int64-promotion hazard even before the allocation itself is fixed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from .core import Finding, Rule
+
+__all__ = ["DtypeDiscipline"]
+
+#: allocation name -> index of the positional dtype slot.
+_ALLOC_DTYPE_SLOT = {
+    "array": 1,
+    "zeros": 1,
+    "empty": 1,
+    "ones": 1,
+    "full": 2,
+    "arange": 3,
+}
+
+#: files whose lane discipline the rule enforces.
+_KERNEL_FILES = ("sha256_vec.py", "fastgarble.py", "cipher.py", "ot_extension.py")
+
+_PROMOTING_OPS = (ast.Add, ast.Sub, ast.Mult, ast.BitAnd, ast.BitOr, ast.BitXor)
+
+
+def _np_alloc_name(func: ast.AST) -> Optional[str]:
+    """Allocation name for ``np.zeros``/``numpy.array``-style callees."""
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+        and func.attr in _ALLOC_DTYPE_SLOT
+    ):
+        return func.attr
+    return None
+
+
+def _missing_dtype(call: ast.Call) -> Optional[str]:
+    """Allocation name when ``call`` allocates without an explicit dtype."""
+    name = _np_alloc_name(call.func)
+    if name is None:
+        return None
+    if any(kw.arg == "dtype" for kw in call.keywords):
+        return None
+    if len(call.args) > _ALLOC_DTYPE_SLOT[name]:
+        return None  # positional dtype (np.empty((64, n), U32) style)
+    return name
+
+
+class DtypeDiscipline(Rule):
+    """L004: kernel allocations pin their dtype; no silent int64 lanes."""
+
+    rule_id = "L004"
+    severity = "error"
+    description = (
+        "np.array/zeros/empty/ones/full/arange in the gc kernels must pass "
+        "an explicit dtype; dtype-less arrays in arithmetic promote uint "
+        "lanes to int64"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        if "repro/gc/" not in path:
+            return False
+        return path.rsplit("/", 1)[-1] in _KERNEL_FILES
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = _missing_dtype(node)
+                if name is not None:
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"np.{name}(...) without an explicit dtype= "
+                            "defaults to int64/float64; the gc kernels "
+                            "require pinned uint lanes",
+                        )
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, _PROMOTING_OPS
+            ):
+                for operand in (node.left, node.right):
+                    if (
+                        isinstance(operand, ast.Call)
+                        and _missing_dtype(operand) is not None
+                    ):
+                        findings.append(
+                            self.finding(
+                                path,
+                                node,
+                                "arithmetic on a dtype-less np allocation "
+                                "silently promotes uint8/uint32 lanes to "
+                                "int64; pin the operand's dtype",
+                            )
+                        )
+        return findings

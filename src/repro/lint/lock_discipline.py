@@ -1,0 +1,262 @@
+"""L001 — lock discipline for classes that own a threading lock.
+
+The serving tier (``service.py``, ``engine/pool.py``, ``gc/protocol.py``,
+``gc/cipher.py``) mutates shared state from thread pools; the convention
+is that every such class owns a ``threading.Lock``/``RLock``/``Condition``
+and touches its shared ``self._*`` state only inside ``with self._lock:``
+blocks.  Tests can only sample interleavings — this rule proves the
+lexical property instead:
+
+* a class *owns a lock* when any method assigns
+  ``self._x = threading.Lock()`` (or ``RLock``/``Condition``), or a
+  dataclass field is declared with a lock type/factory;
+* an attribute is *guarded* when (a) it is accessed inside a
+  ``with self.<lock>:`` block somewhere in the class and (b) it is
+  mutated outside ``__init__`` (assignment, ``del``, augmented
+  assignment, subscript/attribute stores through it, or a mutating
+  method call ``self._x.append(...)``) — read-only-after-init
+  attributes are configuration, not shared state;
+* every access to a guarded attribute from a *public* method (dunders
+  included, ``__init__``/``__new__`` exempt) must sit inside a
+  with-lock block.
+
+Direct private-method calls (``self._helper()``) are not state accesses
+and are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .core import Finding, Rule
+
+__all__ = ["LockDiscipline"]
+
+#: ``threading`` factories whose product makes ``self._x`` a lock attr.
+LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``_x`` when ``node`` is exactly ``self._x`` (else None)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _root_self_attr(node: ast.AST) -> Optional[str]:
+    """Root ``self._x`` under a chain of subscripts/attributes.
+
+    ``self._stats["errors"]`` and ``self._pool.capacity`` both resolve
+    to their base attribute; a plain ``self._x`` resolves to itself.
+    """
+    while True:
+        attr = _self_attr(node)
+        if attr is not None:
+            return attr
+        if isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+            continue
+        return None
+
+
+def _is_lock_factory_call(node: ast.AST) -> bool:
+    """True for expressions that construct (or default-factory) a lock."""
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Name):
+            name = sub.id
+        if name in LOCK_FACTORIES:
+            return True
+    return False
+
+
+def _is_public(name: str) -> bool:
+    """Public per this rule: plain names and dunders except construction."""
+    if name in ("__init__", "__new__", "__init_subclass__"):
+        return False
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return not name.startswith("_")
+
+
+class _AccessCollector(ast.NodeVisitor):
+    """Record every ``self._x`` access in one method.
+
+    Each access is ``(attr, node, kind, locked)`` with kind one of
+    ``"read"`` / ``"mutate"``; direct calls ``self._x(...)`` are skipped
+    (method invocation, not state access).
+    """
+
+    def __init__(self, lock_attrs: Set[str]) -> None:
+        self.lock_attrs = lock_attrs
+        self.lock_depth = 0
+        self.accesses: List[Tuple[str, ast.AST, str, bool]] = []
+
+    # -- recording helpers -------------------------------------------------
+
+    def _record(self, attr: Optional[str], node: ast.AST, kind: str) -> None:
+        if attr and attr.startswith("_") and attr not in self.lock_attrs:
+            self.accesses.append((attr, node, kind, self.lock_depth > 0))
+
+    def _record_target(self, target: ast.AST) -> None:
+        """Classify one assignment/del target, then visit its innards."""
+        self._record(_root_self_attr(target), target, "mutate")
+        # subscript indices / chained values still contain reads
+        for child in ast.iter_child_nodes(target):
+            self.visit(child)
+
+    # -- structure ---------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        holds = any(
+            _self_attr(item.context_expr) in self.lock_attrs
+            for item in node.items
+        )
+        for item in node.items:
+            self.visit(item)
+        if holds:
+            self.lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if holds:
+            self.lock_depth -= 1
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_target(target)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_target(node.target)
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_target(node.target)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record_target(target)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if _self_attr(func) is not None:
+            # self._helper(...): private-method call, not state access —
+            # skip the func, still visit the arguments
+            pass
+        elif isinstance(func, ast.Attribute):
+            receiver = _self_attr(func.value)
+            if receiver is not None:
+                # self._x.append(...): mutating method call on state
+                self._record(receiver, func.value, "mutate")
+            else:
+                self.visit(func)
+        else:
+            self.visit(func)
+        for arg in node.args:
+            self.visit(arg)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node)
+        if attr is not None:
+            self._record(attr, node, "read")
+            return
+        self.generic_visit(node)
+
+
+def _class_methods(cls: ast.ClassDef) -> List[ast.FunctionDef]:
+    return [n for n in cls.body if isinstance(n, _FunctionNode)]
+
+
+def _lock_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attributes holding a lock: method assigns + dataclass fields."""
+    locks: Set[str] = set()
+    for method in _class_methods(cls):
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if _is_lock_factory_call(node.value.func) or any(
+                    _is_lock_factory_call(kw.value) for kw in node.value.keywords
+                ):
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr:
+                            locks.add(attr)
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _is_lock_factory_call(node.annotation) or (
+                node.value is not None and _is_lock_factory_call(node.value)
+            ):
+                locks.add(node.target.id)
+    return locks
+
+
+class LockDiscipline(Rule):
+    """L001: guarded ``self._*`` state must be touched under the lock."""
+
+    rule_id = "L001"
+    severity = "error"
+    description = (
+        "shared self._* state of a lock-owning class must be accessed "
+        "inside `with self._lock:` in public methods"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(node, path))
+        return findings
+
+    def _check_class(self, cls: ast.ClassDef, path: str) -> List[Finding]:
+        locks = _lock_attrs(cls)
+        if not locks:
+            return []
+
+        # pass A: which attrs are lock-guarded shared state?
+        per_method: Dict[str, List[Tuple[str, ast.AST, str, bool]]] = {}
+        locked_somewhere: Set[str] = set()
+        mutated_outside_init: Set[str] = set()
+        for method in _class_methods(cls):
+            collector = _AccessCollector(locks)
+            for stmt in method.body:
+                collector.visit(stmt)
+            per_method[method.name] = collector.accesses
+            for attr, _node, kind, locked in collector.accesses:
+                if locked:
+                    locked_somewhere.add(attr)
+                if kind == "mutate" and method.name != "__init__":
+                    mutated_outside_init.add(attr)
+        guarded = locked_somewhere & mutated_outside_init
+        if not guarded:
+            return []
+
+        # pass B: unlocked accesses to guarded attrs in public methods
+        findings: List[Finding] = []
+        for method in _class_methods(cls):
+            if not _is_public(method.name):
+                continue
+            for attr, node, kind, locked in per_method[method.name]:
+                if attr in guarded and not locked:
+                    verb = "mutated" if kind == "mutate" else "read"
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"self.{attr} {verb} outside the lock in public "
+                            f"method {cls.name}.{method.name}() (class owns "
+                            f"{', '.join(sorted(locks))})",
+                        )
+                    )
+        return findings

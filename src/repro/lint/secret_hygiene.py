@@ -1,0 +1,183 @@
+"""L003 — secret hygiene inside ``repro/gc/``.
+
+Wire labels, the global Δ, garbling seeds and OT keys are the protocol's
+secrets (PAPER.md Sec. 3): one leaked label pair reveals Δ and with it
+every wire in the circuit.  This rule keeps secret-named values away
+from the usual exfiltration sinks in gc/ modules:
+
+* ``print(...)`` / ``logging``-style calls whose arguments reference a
+  secret-named variable or attribute;
+* f-string exception messages interpolating secret-named values
+  (tracebacks cross trust boundaries: logs, crash reporters, clients);
+* ``__repr__``/``__str__`` bodies exposing secret-named ``self`` attrs;
+* seeded/unseeded ``random.Random`` as the *default* randomness source
+  where key material is generated — the fallback must be ``secrets``
+  (``rng = rng or random.Random()`` hands label generation to a
+  non-cryptographic Mersenne Twister when the caller passes nothing).
+
+"Secret-named" is a name heuristic: identifiers containing ``label``,
+``delta`` or ``seed``, plus key-material spellings (``key``/``keys``,
+``k0``/``k1``, ``m0``/``m1``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from .core import Finding, Rule
+
+__all__ = ["SecretHygiene"]
+
+_SECRET_SUBSTRINGS = ("label", "delta", "seed")
+_SECRET_EXACT = {"key", "keys", "k0", "k1", "m0", "m1"}
+
+#: roots + attrs that make a call a logging sink (``logger.info`` etc.).
+_LOG_ROOTS = {"logging", "log", "logger"}
+_LOG_METHODS = {"debug", "info", "warning", "error", "critical", "exception", "log"}
+
+
+def _is_secret_name(name: str) -> bool:
+    low = name.lower()
+    if low in _SECRET_EXACT:
+        return True
+    return any(sub in low for sub in _SECRET_SUBSTRINGS)
+
+
+def _secret_refs(nodes: Iterable[ast.AST]) -> Optional[str]:
+    """First secret-named identifier referenced under ``nodes``."""
+    for root in nodes:
+        for sub in ast.walk(root):
+            if isinstance(sub, ast.Name) and _is_secret_name(sub.id):
+                return sub.id
+            if isinstance(sub, ast.Attribute) and _is_secret_name(sub.attr):
+                return sub.attr
+    return None
+
+
+def _is_print_or_log(func: ast.AST) -> Optional[str]:
+    """Sink description when ``func`` is a print/logging callable."""
+    if isinstance(func, ast.Name) and func.id == "print":
+        return "print()"
+    if isinstance(func, ast.Attribute):
+        root = func.value
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if (
+            isinstance(root, ast.Name)
+            and root.id in _LOG_ROOTS
+            and func.attr in _LOG_METHODS
+        ):
+            return f"{root.id}.{func.attr}()"
+    return None
+
+
+def _is_random_random_call(node: ast.AST) -> bool:
+    """True for ``random.Random(...)`` / bare ``Random(...)`` calls."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == "Random"
+    return isinstance(func, ast.Name) and func.id == "Random"
+
+
+class SecretHygiene(Rule):
+    """L003: key material must not reach output sinks or weak RNG defaults."""
+
+    rule_id = "L003"
+    severity = "error"
+    description = (
+        "wire labels / keys / Δ must not reach print, logging, f-string "
+        "exception messages or __repr__; default key-material rng is secrets"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return "repro/gc/" in path
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                sink = _is_print_or_log(node.func)
+                if sink is not None:
+                    leaked = _secret_refs(
+                        list(node.args) + [kw.value for kw in node.keywords]
+                    )
+                    if leaked is not None:
+                        findings.append(
+                            self.finding(
+                                path,
+                                node,
+                                f"secret-named value `{leaked}` reaches "
+                                f"{sink}; gc/ code must never emit key "
+                                "material",
+                            )
+                        )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                for sub in ast.walk(node.exc):
+                    if isinstance(sub, ast.FormattedValue):
+                        leaked = _secret_refs([sub.value])
+                        if leaked is not None:
+                            findings.append(
+                                self.finding(
+                                    path,
+                                    node,
+                                    f"secret-named value `{leaked}` is "
+                                    "interpolated into an exception message; "
+                                    "tracebacks cross trust boundaries",
+                                )
+                            )
+            elif isinstance(node, ast.ClassDef):
+                findings.extend(self._check_repr(node, path))
+            elif isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+                for value in node.values[1:]:
+                    if _is_random_random_call(value):
+                        findings.append(
+                            self.finding(
+                                path,
+                                value,
+                                "random.Random() as the fallback randomness "
+                                "source: key-material defaults must be the "
+                                "`secrets` CSPRNG (draw via repro.gc.rng)",
+                            )
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for default in list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]:
+                    if _is_random_random_call(default):
+                        findings.append(
+                            self.finding(
+                                path,
+                                default,
+                                f"random.Random(...) as a parameter default in "
+                                f"{node.name}(): key-material defaults must be "
+                                "the `secrets` CSPRNG",
+                            )
+                        )
+        return findings
+
+    def _check_repr(self, cls: ast.ClassDef, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for method in cls.body:
+            if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if method.name not in ("__repr__", "__str__"):
+                    continue
+                for sub in ast.walk(method):
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"
+                        and _is_secret_name(sub.attr)
+                    ):
+                        findings.append(
+                            self.finding(
+                                path,
+                                sub,
+                                f"{cls.name}.{method.name}() exposes secret-"
+                                f"named attribute `self.{sub.attr}`; reprs of "
+                                "gc/ objects must not render key material",
+                            )
+                        )
+        return findings

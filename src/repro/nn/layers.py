@@ -12,7 +12,7 @@ Shapes: Dense consumes ``(batch, features)``; Conv2D/pooling consume
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ pre-processing pipeline and the netlist compiler.
 from __future__ import annotations
 
 import copy
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

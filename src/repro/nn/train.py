@@ -9,7 +9,7 @@ operations plus a conventional epoch loop with early stopping.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 import numpy as np
 

@@ -30,7 +30,7 @@ Implementation notes kept faithful to the pseudocode:
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 import numpy as np
 

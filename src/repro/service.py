@@ -249,7 +249,8 @@ class PrivateInferenceService:
     @property
     def pool(self) -> Optional[PregarbledPool]:
         """The pre-garbled pool, when the config enables one."""
-        return self._pool
+        with self._lock:
+            return self._pool
 
     @property
     def history(self) -> List[InferenceResult]:
@@ -270,14 +271,18 @@ class PrivateInferenceService:
         with self._lock:
             snapshot: Dict[str, object] = dict(self._stats)
             snapshot["by_backend"] = dict(self._stats["by_backend"])
-        if self._pool is not None:
-            snapshot["pool"] = self._pool.stats()
+            pool = self._pool
+        # the pool takes its own lock; call it outside ours (lock order)
+        if pool is not None:
+            snapshot["pool"] = pool.stats()
         return snapshot
 
     def close(self) -> None:
         """Release serving resources (stops any background pool refill)."""
-        if self._pool is not None:
-            self._pool.close()
+        with self._lock:
+            pool = self._pool
+        if pool is not None:
+            pool.close()
 
     def prepare(self, count: Optional[int] = None) -> int:
         """Pre-garble circuit copies ahead of requests (offline phase).
@@ -288,18 +293,19 @@ class PrivateInferenceService:
         pool on first use when ``EngineConfig.pool_size`` is 0 (sized to
         ``count``).  Returns the number of copies garbled.
         """
-        if self._pool is None:
-            with self._lock:
-                if self._pool is None:
-                    self._pool = self._make_pool(count or 8)
-                    # the cached two-party backend predates the pool
-                    self._backends.pop("two_party", None)
-        if count is not None and count > self._pool.capacity:
-            # capacity is a sizing knob, not a contract: an explicit
-            # prepare(n) beyond it grows the pool rather than silently
-            # warming fewer copies than asked
-            self._pool.capacity = count
-        return self._pool.warm(count)
+        with self._lock:
+            pool = self._pool
+            if pool is None:
+                pool = self._pool = self._make_pool(count or 8)
+                # the cached two-party backend predates the pool
+                self._backends.pop("two_party", None)
+            if count is not None and count > pool.capacity:
+                # capacity is a sizing knob, not a contract: an explicit
+                # prepare(n) beyond it grows the pool rather than silently
+                # warming fewer copies than asked
+                pool.capacity = count
+        # garbling is the expensive part — never under the service lock
+        return pool.warm(count)
 
     # -- inference --------------------------------------------------------
 

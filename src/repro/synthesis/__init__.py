@@ -9,13 +9,13 @@ from .optimize import (
     optimize,
     propagate_constants,
 )
-from .verilog import dumps_verilog, export_verilog
 from .report import (
     ComponentReport,
     component_inventory,
     measure_activation_error,
     render_table3,
 )
+from .verilog import dumps_verilog, export_verilog
 
 __all__ = [
     "CellLibrary",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -97,7 +97,7 @@ def measure_activation_error(
 
 
 def component_inventory(
-    fmt: FixedPointFormat = FixedPointFormat(3, 12),
+    fmt: Optional[FixedPointFormat] = None,
     include_full_luts: bool = False,
     softmax_n: int = 10,
     library: CellLibrary = GC_LIBRARY,
@@ -106,7 +106,7 @@ def component_inventory(
     """Build every Table 3 component and report its inventory.
 
     Args:
-        fmt: fixed-point format (paper: 1.3.12).
+        fmt: fixed-point format (default: the paper's 1.3.12).
         include_full_luts: also synthesize the full-domain LUT variants
             (2**15-entry tables at 16 bits — slow; benchmarks only).
         softmax_n: number of classes priced for the Softmax row.
@@ -114,6 +114,8 @@ def component_inventory(
         measure_errors: simulate each activation over a sweep for the
             error column (slower).
     """
+    if fmt is None:
+        fmt = FixedPointFormat(3, 12)
     rows: List[ComponentReport] = []
 
     def add(name: str, circuit, error=None) -> None:

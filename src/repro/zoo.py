@@ -18,10 +18,9 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from .engine import EngineConfig
-
 from .compile.gatecount import Architecture, activation, conv, fc, softmax
 from .data import generate_audio_features, generate_digits, generate_sensing
+from .engine import EngineConfig
 from .nn import Conv2D, Dense, Flatten, ReLU, Sequential, Sigmoid, Tanh
 
 __all__ = [

@@ -12,7 +12,7 @@ from repro.circuits import (
     loads_bristol,
     simulate,
 )
-from repro.circuits.arith import multiply_signed, ripple_add
+from repro.circuits.arith import ripple_add
 from repro.errors import CircuitError
 from repro.synthesis import dumps_verilog
 

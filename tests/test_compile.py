@@ -27,7 +27,6 @@ from repro.nn import (
     ReLU,
     Sequential,
     Sigmoid,
-    Tanh,
 )
 
 FMT9 = FixedPointFormat(2, 6)

@@ -7,9 +7,7 @@ importable pieces; the other examples run verbatim.
 
 import importlib.util
 import pathlib
-import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 

@@ -7,12 +7,12 @@ import pytest
 
 from repro.circuits import CircuitBuilder, FixedPointFormat
 from repro.compile import folded_mac_cell, run_folded_dense
+from repro.compile import CompileOptions
 from repro.errors import CompileError, GarblingError
 from repro.gc import CutAndChooseGarbler, Evaluator, verify_opened_copy
 from repro.gc.ot import TEST_GROUP_512
 from repro.nn import Dense, Sequential, Tanh, TrainConfig, Trainer, fixed_mul
 from repro.service import PrivateInferenceService
-from repro.compile import CompileOptions
 
 
 FMT = FixedPointFormat(2, 6)

@@ -15,30 +15,62 @@ from repro.circuits.gates import (
 
 class TestTruthTables:
     def test_xor(self):
-        assert [GateType.XOR.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [0, 1, 1, 0]
+        table = [
+            GateType.XOR.eval(a, b)
+            for a, b in itertools.product((0, 1), repeat=2)
+        ]
+        assert table == [0, 1, 1, 0]
 
     def test_xnor(self):
-        assert [GateType.XNOR.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [1, 0, 0, 1]
+        table = [
+            GateType.XNOR.eval(a, b)
+            for a, b in itertools.product((0, 1), repeat=2)
+        ]
+        assert table == [1, 0, 0, 1]
 
     def test_and(self):
-        assert [GateType.AND.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [0, 0, 0, 1]
+        table = [
+            GateType.AND.eval(a, b)
+            for a, b in itertools.product((0, 1), repeat=2)
+        ]
+        assert table == [0, 0, 0, 1]
 
     def test_or(self):
-        assert [GateType.OR.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [0, 1, 1, 1]
+        table = [
+            GateType.OR.eval(a, b)
+            for a, b in itertools.product((0, 1), repeat=2)
+        ]
+        assert table == [0, 1, 1, 1]
 
     def test_nand(self):
-        assert [GateType.NAND.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [1, 1, 1, 0]
+        table = [
+            GateType.NAND.eval(a, b)
+            for a, b in itertools.product((0, 1), repeat=2)
+        ]
+        assert table == [1, 1, 1, 0]
 
     def test_nor(self):
-        assert [GateType.NOR.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [1, 0, 0, 0]
+        table = [
+            GateType.NOR.eval(a, b)
+            for a, b in itertools.product((0, 1), repeat=2)
+        ]
+        assert table == [1, 0, 0, 0]
 
     def test_andn(self):
         # a AND (NOT b)
-        assert [GateType.ANDN.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [0, 0, 1, 0]
+        table = [
+            GateType.ANDN.eval(a, b)
+            for a, b in itertools.product((0, 1), repeat=2)
+        ]
+        assert table == [0, 0, 1, 0]
 
     def test_orn(self):
         # a OR (NOT b)
-        assert [GateType.ORN.eval(a, b) for a, b in itertools.product((0, 1), repeat=2)] == [1, 0, 1, 1]
+        table = [
+            GateType.ORN.eval(a, b)
+            for a, b in itertools.product((0, 1), repeat=2)
+        ]
+        assert table == [1, 0, 1, 1]
 
     def test_not_and_buf(self):
         assert GateType.NOT.eval(0) == 1

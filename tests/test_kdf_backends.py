@@ -39,9 +39,9 @@ from repro.gc import (
     resolve_kdf_backend,
     sha256_many,
 )
+from repro.gc import ot_extension
 from repro.gc.cipher import ROW_BYTES
 from repro.gc.fastgarble import garble_many
-from repro.gc import ot_extension
 from repro.gc.ot import TEST_GROUP_512
 from repro.gc.protocol import TwoPartySession
 

@@ -11,7 +11,6 @@ from repro.nn import (
     MaxPool2D,
     MeanPool2D,
     ReLU,
-    Sequential,
     Sigmoid,
     Tanh,
 )

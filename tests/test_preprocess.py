@@ -3,12 +3,10 @@ and the Proposition 3.1 security properties."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.data import generate_audio_features
 from repro.errors import PreprocessError
-from repro.nn import Dense, Sequential, Tanh, TrainConfig, Trainer, accuracy
+from repro.nn import Dense, Sequential, Tanh, TrainConfig, Trainer
 from repro.preprocess import (
     ProjectionConfig,
     build_projection,

@@ -18,7 +18,6 @@ from repro.circuits import (
     loads_bristol,
     simulate,
 )
-from repro.circuits.gates import GateType
 from repro.gc import Evaluator, Garbler
 from repro.gc.ot import TEST_GROUP_512
 from repro.gc.protocol import execute

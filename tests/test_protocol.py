@@ -17,7 +17,6 @@ from repro.gc import (
     outsource_circuit,
     split_input,
 )
-from repro.gc.ot import TEST_GROUP_512
 
 
 def random_circuit(seed, n_gates=60, n_inputs=4):

@@ -11,7 +11,6 @@ from repro.nn import (
     Dense,
     QuantizedModel,
     Sequential,
-    Tanh,
     activation_table,
     fixed_mul,
     saturate,

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.circuits import bits_from_int, int_from_bits, simulate
 from repro.circuits.arith import ripple_add
-from repro.circuits.sequential import Register, SequentialBuilder, SequentialCircuit
+from repro.circuits.sequential import SequentialBuilder, SequentialCircuit
 from repro.errors import CircuitError
 
 

@@ -3,7 +3,6 @@ and state privacy across cycles."""
 
 import random
 
-import pytest
 
 from repro.circuits import bits_from_int, int_from_bits
 from repro.circuits.arith import ripple_add

@@ -3,8 +3,6 @@
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.circuits import CircuitBuilder, simulate
 from repro.circuits.gates import GateType

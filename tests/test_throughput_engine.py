@@ -19,7 +19,7 @@ from repro.circuits import CircuitBuilder, FixedPointFormat, bits_from_int
 from repro.circuits.simulate import simulate
 from repro.compile import folded_mac_cell
 from repro.engine import EngineConfig, PregarbledPool
-from repro.errors import EngineError, GarblingError
+from repro.errors import EngineError, GarblingError, ProtocolError
 from repro.gc import (
     ArrayLabelStore,
     Evaluator,
@@ -257,15 +257,13 @@ class TestEvaluateMany:
             assert result.outputs == simulate(circuit, a, b)
         assert results[0].times["garble"] == 0.0  # offline material
         assert results[1].times["garble"] > 0.0
-        with pytest.raises(Exception):
+        with pytest.raises(ProtocolError):
             session.run_many(alices, bobs[:2])
 
     def test_run_many_follows_pool_oracle_or_rejects_mixes(self):
         """The batch shares one evaluator: it follows the material's
         oracle (like run() does), and a mixed-oracle batch fails fast
         instead of raising a confusing label error mid-evaluation."""
-        from repro.errors import ProtocolError
-
         circuit = _random_circuit(10, n_gates=40)
 
         def foreign_unit(seed):

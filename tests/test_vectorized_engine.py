@@ -335,7 +335,7 @@ class TestGarbleMany:
             assert ref.tables_bytes() == garbled.tables_bytes()
 
     def test_verify_opened_copy_across_engines(self):
-        from repro.gc.cutandchoose import CutAndChooseGarbler, _commit
+        from repro.gc.cutandchoose import CutAndChooseGarbler
 
         circuit = _random_circuit(13)
         cnc = CutAndChooseGarbler(

@@ -1,7 +1,6 @@
 """Tests for the benchmark zoo, the CryptoNets/HE baseline and the
 analysis helpers (Fig. 5 pipeline, Fig. 6 crossover, throughput)."""
 
-import math
 
 import numpy as np
 import pytest

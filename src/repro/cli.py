@@ -127,7 +127,9 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
                   pool_size: int = 0, history_limit: int = 0, seed: int = 1,
                   pool_refill: str = "opportunistic",
                   vectorized: bool = True, kdf_workers: int = 1,
-                  kdf_backend: str = "auto", pool_low_watermark=None):
+                  kdf_backend: str = "auto", pool_low_watermark=None,
+                  request_timeout_s=None, max_retries: int = 0,
+                  fault_specs=None, fault_seed: int = 0):
     """A small trained service for the live subcommands (fast OT group)."""
     import random
 
@@ -137,6 +139,7 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
     from .engine import EngineConfig
     from .gc.ot import TEST_GROUP_512
     from .nn import Dense, Sequential, Tanh, TrainConfig, Trainer
+    from .resilience import FaultPlan
     from .service import PrivateInferenceService
 
     rng = np.random.default_rng(0)
@@ -145,6 +148,9 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
     y = (x @ w).argmax(axis=1)
     model = Sequential([Dense(6), Tanh(), Dense(3)], input_shape=(10,), seed=1)
     Trainer(model, TrainConfig(epochs=20, learning_rate=0.2)).fit(x, y)
+    fault_plan = (
+        FaultPlan.parse(fault_specs, seed=fault_seed) if fault_specs else None
+    )
     config = EngineConfig(
         fmt=FixedPointFormat(2, 6),
         activation=activation,
@@ -158,6 +164,9 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
         pool_refill=pool_refill,
         pool_low_watermark=pool_low_watermark,
         history_limit=history_limit,
+        request_timeout_s=request_timeout_s,
+        max_retries=max_retries,
+        fault_plan=fault_plan,
     )
     return PrivateInferenceService(model, config), x
 
@@ -204,6 +213,9 @@ def _cmd_serve(args) -> None:
         pool_refill=args.refill, vectorized=not args.scalar,
         kdf_workers=args.kdf_workers, kdf_backend=args.kdf_backend,
         pool_low_watermark=args.watermark,
+        request_timeout_s=args.request_timeout,
+        max_retries=args.max_retries,
+        fault_specs=args.fault, fault_seed=args.fault_seed,
     )
     pool = service.pool
     print(service.circuit_summary)
@@ -219,13 +231,15 @@ def _cmd_serve(args) -> None:
     batch = {"auto": None, "on": True, "off": False}[args.batch]
     start = time.perf_counter()
     results = service.infer_many(
-        list(x[: args.requests]), max_workers=args.workers, batch=batch
+        list(x[: args.requests]), max_workers=args.workers, batch=batch,
+        return_errors=True,
     )
     wall = time.perf_counter() - start
 
     online = [r.wall_seconds for r in results]
     pooled = sum(1 for r in results if r.pregarbled)
-    labels = [r.label for r in results]
+    ok = [r for r in results if r.ok]
+    failed = [r for r in results if not r.ok]
     expected = [service.cleartext_label(s) for s in x[: args.requests]]
     print(f"served {len(results)} requests on {args.workers} workers "
           f"in {wall:.2f} s ({len(results) / wall:.2f} req/s)")
@@ -238,8 +252,30 @@ def _cmd_serve(args) -> None:
         print(f"pool: {pstats['size']}/{pstats['capacity']} ready | "
               f"garbled {pstats['garbled_total']} total | "
               f"refills {pstats['refills']} ({pstats['refill']})")
-    print(f"labels: {labels} | cleartext agreement: "
-          f"{'OK' if labels == expected else 'MISMATCH'}")
+    stats = service.stats
+    breakers = stats.get("breakers", {})
+    open_breakers = sum(
+        1 for b in breakers.values() if b["state"] != "closed"
+    )
+    print(f"resilience: retries {stats['retries']} | transient faults "
+          f"{stats['transient_faults']} | degraded {stats['degraded']} | "
+          f"breakers open {open_breakers}/{len(breakers) or 1}")
+    if "faults" in stats:
+        fp = stats["faults"]
+        fired = ", ".join(
+            f"{kind}:{tag}#{seq}" for kind, tag, seq in fp["applied_log"]
+        ) or "none"
+        print(f"fault plan: {fp['applied']}/{len(fp['specs'])} faults "
+              f"fired ({fired})")
+    agree = all(
+        r.label == expected[i] for i, r in enumerate(results) if r.ok
+    )
+    print(f"labels: {[r.label for r in results]} | "
+          f"failed {len(failed)}/{len(results)} | cleartext agreement: "
+          f"{'OK' if agree else 'MISMATCH'}")
+    if failed:
+        kinds = sorted({f"{r.error_type}/{r.error_category}" for r in failed})
+        print(f"failures: {', '.join(kinds)}")
     service.close()
 
 
@@ -327,6 +363,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--scalar", action="store_true",
                        help="use the gate-at-a-time reference engine "
                             "instead of the vectorized one")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request deadline: protocol recvs and "
+                            "phase boundaries past the budget raise "
+                            "DeadlineExceeded (default: unlimited)")
+    serve.add_argument("--max-retries", type=int, default=0,
+                       help="retry transient wire faults (corruption, "
+                            "drops, expired deadlines) up to this many "
+                            "times per request (default: 0)")
+    serve.add_argument("--fault", action="append", default=None,
+                       metavar="KIND:TAG:NTH[:DELAY]",
+                       help="inject a deterministic wire fault (chaos "
+                            "harness), e.g. corrupt:tables:0 or "
+                            "delay:ot:2:30; repeatable")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for fault byte positions / cut points")
     serve.set_defaults(func=_cmd_serve)
     return parser
 

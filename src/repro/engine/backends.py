@@ -31,10 +31,12 @@ from ..gc.cutandchoose import CutAndChooseGarbler, verify_opened_copy
 from ..gc.evaluate import Evaluator
 from ..gc.fastgarble import FastEvaluator
 from ..gc.ot import MODP_2048, OTGroup
+from ..gc.channel import make_channel_pair
 from ..gc.outsourcing import OutsourcedSession
-from ..gc.protocol import TwoPartySession, transfer_input_labels
+from ..gc.protocol import ChannelFactory, TwoPartySession, transfer_input_labels
 from ..gc.rng import RngLike
 from ..gc.sequential import SequentialSession
+from ..resilience.deadline import Deadline
 from .pool import PregarbledPool
 from .result import ExecutionResult
 
@@ -66,6 +68,12 @@ class Backend:
         rng: randomness source for labels and OT.
         vectorized: run the level-scheduled NumPy garbling engine where
             the flow supports it (bit-exact with the scalar path).
+        channel_factory: builds each request's channel pair — the seam
+            where the chaos harness injects faulty links; defaults to
+            the healthy in-memory channel.
+        request_timeout_s: per-request time budget; each :meth:`run`
+            arms a fresh :class:`repro.resilience.Deadline` so no recv
+            or phase outlives it (None = unlimited).
     """
 
     #: Registry key, set by :func:`register_backend`.
@@ -77,11 +85,21 @@ class Backend:
         ot_group: OTGroup = MODP_2048,
         rng: RngLike = secrets,
         vectorized: bool = True,
+        channel_factory: Optional[ChannelFactory] = None,
+        request_timeout_s: Optional[float] = None,
     ) -> None:
         self.kdf = kdf
         self.ot_group = ot_group
         self.rng = rng
         self.vectorized = vectorized
+        self.channel_factory = channel_factory
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise EngineError("request_timeout_s must be positive (or None)")
+        self.request_timeout_s = request_timeout_s
+
+    def _deadline(self) -> Optional[Deadline]:
+        """Arm one request attempt's time budget."""
+        return Deadline.start(self.request_timeout_s)
 
     def run(
         self,
@@ -170,9 +188,13 @@ class TwoPartyBackend(Backend):
         rng: RngLike = secrets,
         vectorized: bool = True,
         pool: Optional[PregarbledPool] = None,
+        channel_factory: Optional[ChannelFactory] = None,
+        request_timeout_s: Optional[float] = None,
     ) -> None:
         super().__init__(
-            kdf=kdf, ot_group=ot_group, rng=rng, vectorized=vectorized
+            kdf=kdf, ot_group=ot_group, rng=rng, vectorized=vectorized,
+            channel_factory=channel_factory,
+            request_timeout_s=request_timeout_s,
         )
         if pool is not None and not isinstance(pool, PregarbledPool):
             raise EngineError("pool must be a PregarbledPool (or None)")
@@ -201,9 +223,12 @@ class TwoPartyBackend(Backend):
             pregarbled = self.pool.acquire()
         session = TwoPartySession(
             circuit, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng,
-            vectorized=self.vectorized,
+            vectorized=self.vectorized, channel_factory=self.channel_factory,
         )
-        result = session.run(client_bits, server_bits, pregarbled=pregarbled)
+        result = session.run(
+            client_bits, server_bits, pregarbled=pregarbled,
+            deadline=self._deadline(),
+        )
         metadata: Dict[str, object] = {"pregarbled": pregarbled is not None}
         if pregarbled is not None:
             metadata["offline_garble_s"] = pregarbled.garble_seconds
@@ -245,12 +270,13 @@ class TwoPartyBackend(Backend):
             slots = [self.pool.acquire() for _ in range(k)]
         session = TwoPartySession(
             circuit, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng,
-            vectorized=self.vectorized,
+            vectorized=self.vectorized, channel_factory=self.channel_factory,
         )
         protocol_results = session.run_many(
             client_bits_list,
             [list(server_bits)] * k,
             pregarbled=slots,
+            deadline=self._deadline(),
         )
         results: List[ExecutionResult] = []
         for i, result in enumerate(protocol_results):
@@ -278,9 +304,12 @@ class OutsourcedBackend(Backend):
         server_bits: Sequence[int],
     ) -> ExecutionResult:
         session = OutsourcedSession(
-            circuit, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng
+            circuit, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng,
+            channel_factory=self.channel_factory,
         )
-        outcome = session.run(client_bits, server_bits)
+        outcome = session.run(
+            client_bits, server_bits, deadline=self._deadline()
+        )
         result = outcome.proxy_result
         return ExecutionResult(
             outputs=list(outcome.outputs),
@@ -318,11 +347,12 @@ class FoldedBackend(Backend):
         sequential = SequentialCircuit(circuit, [])
         session = SequentialSession(
             sequential, kdf=self.kdf, ot_group=self.ot_group, rng=self.rng,
-            vectorized=self.vectorized,
+            vectorized=self.vectorized, channel_factory=self.channel_factory,
         )
         start = time.perf_counter()
         result = session.run(
-            [list(client_bits)], [list(server_bits)], cycles=1
+            [list(client_bits)], [list(server_bits)], cycles=1,
+            deadline=self._deadline(),
         )
         wall = time.perf_counter() - start
         counts = circuit.counts()
@@ -366,9 +396,13 @@ class CutAndChooseBackend(Backend):
         rng: RngLike = secrets,
         vectorized: bool = True,
         copies: int = 3,
+        channel_factory: Optional[ChannelFactory] = None,
+        request_timeout_s: Optional[float] = None,
     ) -> None:
         super().__init__(
-            kdf=kdf, ot_group=ot_group, rng=rng, vectorized=vectorized
+            kdf=kdf, ot_group=ot_group, rng=rng, vectorized=vectorized,
+            channel_factory=channel_factory,
+            request_timeout_s=request_timeout_s,
         )
         self.copies = copies
 
@@ -384,6 +418,7 @@ class CutAndChooseBackend(Backend):
         server_bits: Sequence[int],
     ) -> ExecutionResult:
         times: Dict[str, float] = {}
+        deadline = self._deadline()
 
         # garbler: k committed, seed-derived garblings.  The seed source
         # must expose getrandbits; bridge module-style rngs (secrets)
@@ -401,6 +436,8 @@ class CutAndChooseBackend(Backend):
         commitments = cnc.commitments()
         tables = cnc.tables()
         times["garble"] = time.perf_counter() - start
+        if deadline is not None:
+            deadline.check("garble")
 
         # evaluator: challenge all copies but one, verify each opening
         start = time.perf_counter()
@@ -419,16 +456,25 @@ class CutAndChooseBackend(Backend):
                     f"cut-and-choose: copy {opened.index} failed verification"
                 )
         times["verify"] = time.perf_counter() - start
+        if deadline is not None:
+            deadline.check("verify")
 
-        # evaluate the surviving copy (labels via OT, as in Fig. 3)
+        # evaluate the surviving copy (labels via OT, as in Fig. 3);
+        # the OT flights travel over a channel pair so wire faults and
+        # deadlines reach this flow too
         start = time.perf_counter()
         garbler = cnc.evaluation_garbler(surviving)
+        factory = self.channel_factory or make_channel_pair
+        alice_end, bob_end, _stats = factory()
+        alice_end.deadline = deadline
+        bob_end.deadline = deadline
         bob_labels, ot_bytes = transfer_input_labels(
             garbler,
             list(circuit.bob_inputs),
             list(server_bits),
             group=self.ot_group,
             rng=self.rng,
+            channel=(alice_end, bob_end),
         )
         alice_labels = garbler.input_labels_for(
             list(circuit.alice_inputs), list(client_bits)
@@ -440,6 +486,8 @@ class CutAndChooseBackend(Backend):
         )
         outputs = garbler.decode_outputs(evaluator.output_labels(wire_labels))
         times["evaluate"] = time.perf_counter() - start
+        if deadline is not None:
+            deadline.check("evaluate")
 
         counts = circuit.counts()
         comm = (

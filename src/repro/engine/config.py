@@ -21,6 +21,7 @@ from ..errors import EngineError
 from ..gc.cipher import HashKDF
 from ..gc.ot import MODP_2048, OTGroup
 from ..nn.quantize import ACTIVATION_VARIANTS
+from ..resilience.faults import FaultPlan
 
 __all__ = ["EngineConfig"]
 
@@ -78,6 +79,22 @@ class EngineConfig:
         history_limit: cap on retained inference records; 0 (default)
             disables history entirely — recording is opt-in so sustained
             traffic cannot grow memory without bound.
+        request_timeout_s: per-request time budget; every protocol recv
+            and phase boundary is checked against it, raising
+            :class:`repro.errors.DeadlineExceeded` (None = unlimited).
+        max_retries: additional attempts after a *transient* fault
+            (wire corruption, dropped message, expired deadline); 0
+            (default) disables retrying.  Semantic errors never retry.
+        retry_backoff_s: base sleep before the first retry; doubles per
+            attempt, with seeded jitter from the service rng.
+        breaker_threshold: consecutive backend failures that trip the
+            per-backend circuit breaker (degraded serving: pooled falls
+            back to cold garbling, batched to scalar).
+        breaker_cooldown_s: seconds a tripped breaker stays open before
+            a half-open probe is allowed.
+        fault_plan: optional :class:`repro.resilience.FaultPlan` — the
+            chaos harness; injected into every channel the backends
+            build.  Testing/ops only: never set in production serving.
     """
 
     fmt: FixedPointFormat = DEFAULT_FORMAT
@@ -96,6 +113,12 @@ class EngineConfig:
     pool_refill: str = "opportunistic"
     pool_low_watermark: Optional[int] = None
     history_limit: int = 0
+    request_timeout_s: Optional[float] = None
+    max_retries: int = 0
+    retry_backoff_s: float = 0.05
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 30.0
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         from .backends import available_backends
@@ -135,6 +158,22 @@ class EngineConfig:
             raise EngineError("pool_low_watermark must be >= 1 (or None)")
         if self.history_limit < 0:
             raise EngineError("history_limit must be >= 0")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise EngineError("request_timeout_s must be positive (or None)")
+        if self.max_retries < 0:
+            raise EngineError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise EngineError("retry_backoff_s must be >= 0")
+        if self.breaker_threshold < 1:
+            raise EngineError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_s < 0:
+            raise EngineError("breaker_cooldown_s must be >= 0")
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise EngineError(
+                "fault_plan must be a repro.resilience.FaultPlan (or None)"
+            )
 
     def effective_kdf(self) -> Optional[HashKDF]:
         """The garbling oracle with ``kdf_backend``/``kdf_workers`` applied.

@@ -106,10 +106,12 @@ class PregarbledPool:
         self._stop = False
         self._opportunistic_inflight = False
         self._refill_thread: Optional[threading.Thread] = None
+        self._leaked_refill_thread = False
         self.garbled_total = 0
         self.refills = 0
         self.hits = 0
         self.misses = 0
+        self.refill_crashes = 0
         self.last_refill_error: Optional[str] = None
         # drain-rate observation window + per-copy garble-time EWMA: the
         # inputs to watermark-driven refill batch sizing
@@ -117,7 +119,7 @@ class PregarbledPool:
         self._per_copy_s: Optional[float] = None
         if refill == "background":
             self._refill_thread = threading.Thread(
-                target=self._refill_loop,
+                target=self._refill_supervisor,
                 name="pregarble-refill",
                 daemon=True,
             )
@@ -222,16 +224,32 @@ class PregarbledPool:
                 "low_watermark": self.low_watermark,
                 "drain_rate": self._drain_rate_locked(),
                 "per_copy_s": self._per_copy_s,
+                "refill_crashes": self.refill_crashes,
+                "last_refill_error": self.last_refill_error,
+                "leaked_refill_thread": self._leaked_refill_thread,
             }
 
-    def close(self) -> None:
-        """Stop the background refill thread (idempotent)."""
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the background refill thread (idempotent).
+
+        Joins with ``timeout`` so a wedged refill can never hang
+        interpreter shutdown; a thread that outlives the join is
+        reported as ``leaked_refill_thread`` in :meth:`stats` instead of
+        blocking forever.
+        """
         with self._lock:
             self._stop = True
             self._cond.notify_all()
-        if self._refill_thread is not None:
-            self._refill_thread.join(timeout=5.0)
-            self._refill_thread = None
+            thread = self._refill_thread
+        if thread is None:
+            return
+        thread.join(timeout=timeout)
+        with self._lock:
+            if thread.is_alive():
+                self._leaked_refill_thread = True
+            else:
+                self._leaked_refill_thread = False
+                self._refill_thread = None
 
     # -- refill machinery -------------------------------------------------
 
@@ -293,7 +311,9 @@ class PregarbledPool:
                     with self._lock:
                         self.refills += 1
             except Exception as exc:  # keep serving; surface via stats
-                self.last_refill_error = repr(exc)
+                with self._lock:
+                    self.refill_crashes += 1
+                    self.last_refill_error = repr(exc)
             finally:
                 with self._lock:
                     self._opportunistic_inflight = False
@@ -302,8 +322,36 @@ class PregarbledPool:
             target=work, name="pregarble-refill-once", daemon=True
         ).start()
 
+    def _refill_supervisor(self) -> None:
+        """Self-healing wrapper around :meth:`_refill_loop`.
+
+        A crash in the refill worker is caught, counted
+        (``refill_crashes`` in :meth:`stats`) and the loop restarted
+        after a capped exponential backoff — a poisoned garble must not
+        silently turn every future request into a cold miss.
+        """
+        crashes = 0
+        while True:
+            try:
+                self._refill_loop()
+                return  # clean _stop exit
+            except Exception as exc:
+                crashes += 1
+                with self._lock:
+                    self.refill_crashes += 1
+                    self.last_refill_error = repr(exc)
+                backoff = min(0.05 * (2 ** (crashes - 1)), 5.0)
+                with self._cond:
+                    if self._stop:
+                        return
+                    self._cond.wait(timeout=backoff)
+
     def _refill_loop(self) -> None:
-        """Background policy: batch-refill whenever below the watermark."""
+        """Background policy: batch-refill whenever below the watermark.
+
+        Exceptions propagate to :meth:`_refill_supervisor`, which counts
+        the crash and restarts this loop with backoff.
+        """
         while True:
             with self._cond:
                 while not self._stop and not self._needs_refill():
@@ -311,13 +359,6 @@ class PregarbledPool:
                 if self._stop:
                     return
                 batch = self._refill_batch_locked()
-            try:
-                if batch and self.warm(batch):
-                    with self._lock:
-                        self.refills += 1
-            except Exception as exc:  # keep the thread alive
-                self.last_refill_error = repr(exc)
-                with self._cond:
-                    if self._stop:
-                        return
-                    self._cond.wait(timeout=0.5)
+            if batch and self.warm(batch):
+                with self._lock:
+                    self.refills += 1

@@ -27,6 +27,37 @@ class ProtocolError(ReproError):
     """Raised when the two-party session is driven out of order."""
 
 
+class ChannelEmptyError(ProtocolError):
+    """Raised on ``recv`` from a channel with no pending message.
+
+    Either a protocol-order bug (a recv before the matching send) or a
+    dropped message on a faulty link — the message carries the expected
+    tag, direction and message index so chaos-test failures are
+    diagnosable.  Transient under retry (a fresh attempt re-sends).
+    """
+
+
+class ChannelIntegrityError(ProtocolError):
+    """Raised when wire framing fails validation on ``recv``.
+
+    Covers payload checksum mismatches (corruption/truncation), message
+    tag mismatches and sequence-number gaps (drops/duplicates).  The
+    point of the typed error: corruption is *detected* at the framing
+    layer instead of surfacing as garbage labels or a wrong inference.
+    Transient under retry.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """Raised when a request's time budget expires mid-protocol.
+
+    Threaded through every channel ``recv`` and the OT phases via
+    :class:`repro.resilience.Deadline`, so no phase blocks past the
+    per-request budget (``EngineConfig.request_timeout_s``).  Transient
+    under retry.
+    """
+
+
 class OTError(ReproError):
     """Raised on oblivious-transfer failures (bad counts, bad group element)."""
 

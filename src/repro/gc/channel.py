@@ -1,21 +1,60 @@
-"""In-memory duplex channel with byte accounting.
+"""In-memory duplex channel with byte accounting and wire integrity.
 
 The paper's headline observation is that GC execution time is dominated
 by *communication* (garbled-table transfer), so every protocol object in
 this package moves data through a :class:`Channel` that counts bytes per
 direction.  The in-memory implementation keeps the two parties in one
 process (deterministic tests) while preserving exact wire sizes.
+
+Messages travel as :class:`Frame` objects carrying a tag, a
+per-direction sequence number and a CRC-32 checksum over the payload.
+``recv`` validates all three, so a corrupted, truncated, dropped or
+duplicated message surfaces as a typed
+:class:`repro.errors.ChannelIntegrityError` instead of garbage labels —
+the detection layer the fault-injection harness
+(:mod:`repro.resilience`) and the future socket transport both build on.
+A :class:`repro.resilience.Deadline` attached to an endpoint is charged
+on every ``recv`` (including injected virtual delays), so no receive
+outlives the per-request budget.
 """
 
 from __future__ import annotations
 
 import collections
+import dataclasses
 import struct
-from typing import Deque, List, Tuple
+import zlib
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
-from ..errors import ProtocolError
+from ..errors import ChannelEmptyError, ChannelIntegrityError
 
-__all__ = ["Channel", "ChannelStats", "make_channel_pair"]
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..resilience.deadline import Deadline
+
+__all__ = ["Channel", "ChannelStats", "Frame", "make_channel_pair"]
+
+
+@dataclasses.dataclass
+class Frame:
+    """One wire message: payload plus the framing that protects it.
+
+    Attributes:
+        tag: message kind (``"tables"``, ``"ot"``, ...), validated on
+            receive when the caller states an expectation.
+        seq: per-direction sequence number, assigned by the sender;
+            gaps and repeats reveal dropped or duplicated messages.
+        payload: the raw bytes.
+        crc: CRC-32 over the payload *as sent* — kept verbatim by the
+            fault injector so corruption stays detectable.
+        delay_s: virtual transit delay (seconds) charged against the
+            receiver's deadline; 0 for a healthy link.
+    """
+
+    tag: str
+    seq: int
+    payload: bytes
+    crc: int
+    delay_s: float = 0.0
 
 
 class ChannelStats:
@@ -39,9 +78,9 @@ class ChannelStats:
             self.bytes_b_to_a += size
         self.log.append((direction, tag, size))
 
-    def by_tag(self) -> dict:
+    def by_tag(self) -> Dict[str, int]:
         """Aggregate traffic per message tag (e.g. 'tables', 'ot')."""
-        agg: dict = {}
+        agg: Dict[str, int] = {}
         for _, tag, size in self.log:
             agg[tag] = agg.get(tag, 0) + size
         return agg
@@ -52,8 +91,8 @@ class Channel:
 
     def __init__(
         self,
-        outbox: Deque[bytes],
-        inbox: Deque[bytes],
+        outbox: Deque[Frame],
+        inbox: Deque[Frame],
         stats: ChannelStats,
         direction: str,
     ) -> None:
@@ -61,19 +100,87 @@ class Channel:
         self._inbox = inbox
         self._stats = stats
         self._direction = direction
+        self._sent = 0
+        self._received = 0
+        #: optional per-request time budget, charged on every recv
+        self.deadline: Optional["Deadline"] = None
 
     # -- raw bytes ---------------------------------------------------------
 
     def send_bytes(self, data: bytes, tag: str = "data") -> None:
-        """Send a length-prefixed byte string."""
-        self._outbox.append(bytes(data))
-        self._stats.record(self._direction, tag, len(data) + 4)
+        """Send a length-prefixed, checksummed byte string."""
+        payload = bytes(data)
+        frame = Frame(
+            tag=tag,
+            seq=self._sent,
+            payload=payload,
+            crc=zlib.crc32(payload),
+        )
+        self._sent += 1
+        self._dispatch(frame)
 
-    def recv_bytes(self) -> bytes:
-        """Receive the next byte string (raises if none pending)."""
+    def _dispatch(self, frame: Frame) -> None:
+        """Put one frame on the wire and account it.
+
+        The single enqueue point — the fault-injection channel overrides
+        this to mutate, drop, duplicate or delay frames after framing
+        (so checksums keep protecting the original payload).
+        """
+        self._outbox.append(frame)
+        self._stats.record(self._direction, frame.tag, len(frame.payload) + 4)
+
+    def recv_bytes(self, expected_tag: Optional[str] = None) -> bytes:
+        """Receive and validate the next byte string.
+
+        Args:
+            expected_tag: when given, the frame's tag must match —
+                mismatches (a dropped or reordered message upstream)
+                raise :class:`ChannelIntegrityError` instead of letting
+                the protocol parse the wrong payload.
+
+        Raises:
+            ChannelEmptyError: no message is pending (protocol-order bug
+                or a dropped message).
+            ChannelIntegrityError: checksum, sequence or tag validation
+                failed.
+            DeadlineExceeded: the endpoint's deadline expired (injected
+                transit delays are charged before the check).
+        """
+        index = self._received
         if not self._inbox:
-            raise ProtocolError("recv on empty channel (protocol order bug)")
-        return self._inbox.popleft()
+            expectation = (
+                f" tagged {expected_tag!r}" if expected_tag is not None else ""
+            )
+            raise ChannelEmptyError(
+                f"recv on empty channel: {self._direction!r} endpoint "
+                f"waiting for message #{index}{expectation} "
+                "(protocol order bug or dropped message)"
+            )
+        frame = self._inbox.popleft()
+        if self.deadline is not None:
+            context = f"recv #{index} tagged {frame.tag!r}"
+            if frame.delay_s > 0.0:
+                self.deadline.consume(frame.delay_s, context)
+            self.deadline.check(context)
+        if frame.seq != index:
+            raise ChannelIntegrityError(
+                f"out-of-sequence message on {self._direction!r}: expected "
+                f"#{index}, got #{frame.seq} tagged {frame.tag!r} "
+                "(dropped or duplicated message upstream)"
+            )
+        self._received += 1
+        if zlib.crc32(frame.payload) != frame.crc:
+            raise ChannelIntegrityError(
+                f"payload checksum mismatch on {self._direction!r} message "
+                f"#{index} tagged {frame.tag!r} ({len(frame.payload)} bytes):"
+                " corrupted or truncated on the wire"
+            )
+        if expected_tag is not None and frame.tag != expected_tag:
+            raise ChannelIntegrityError(
+                f"message tag mismatch on {self._direction!r} message "
+                f"#{index}: expected {expected_tag!r}, got {frame.tag!r}"
+            )
+        return frame.payload
 
     # -- integers and label vectors -----------------------------------------
 
@@ -82,10 +189,19 @@ class Channel:
         size = max(1, (value.bit_length() + 7) // 8)
         self.send_bytes(size.to_bytes(4, "little") + value.to_bytes(size, "little"), tag)
 
-    def recv_int(self) -> int:
+    def recv_int(self, expected_tag: Optional[str] = None) -> int:
         """Receive one integer."""
-        data = self.recv_bytes()
+        data = self.recv_bytes(expected_tag)
+        if len(data) < 4:
+            raise ChannelIntegrityError(
+                f"integer payload too short ({len(data)} bytes)"
+            )
         size = int.from_bytes(data[:4], "little")
+        if len(data) < 4 + size:
+            raise ChannelIntegrityError(
+                f"integer payload truncated: declares {size} bytes, "
+                f"carries {len(data) - 4}"
+            )
         return int.from_bytes(data[4 : 4 + size], "little")
 
     def send_labels(self, labels: List[int], tag: str = "labels") -> None:
@@ -93,10 +209,19 @@ class Channel:
         payload = b"".join(l.to_bytes(16, "little") for l in labels)
         self.send_bytes(struct.pack("<I", len(labels)) + payload, tag)
 
-    def recv_labels(self) -> List[int]:
+    def recv_labels(self, expected_tag: Optional[str] = None) -> List[int]:
         """Receive a label vector."""
-        data = self.recv_bytes()
+        data = self.recv_bytes(expected_tag)
+        if len(data) < 4:
+            raise ChannelIntegrityError(
+                f"label payload too short ({len(data)} bytes)"
+            )
         (count,) = struct.unpack("<I", data[:4])
+        if len(data) != 4 + 16 * count:
+            raise ChannelIntegrityError(
+                f"label payload size mismatch: declares {count} entries, "
+                f"carries {len(data) - 4} bytes"
+            )
         return [
             int.from_bytes(data[4 + 16 * i : 20 + 16 * i], "little")
             for i in range(count)
@@ -110,24 +235,41 @@ class Channel:
                 payload[i // 8] |= 1 << (i % 8)
         self.send_bytes(struct.pack("<I", len(bits)) + bytes(payload), tag)
 
-    def recv_bits(self) -> List[int]:
+    def recv_bits(self, expected_tag: Optional[str] = None) -> List[int]:
         """Receive a packed bit vector."""
-        data = self.recv_bytes()
+        data = self.recv_bytes(expected_tag)
+        if len(data) < 4:
+            raise ChannelIntegrityError(
+                f"bit payload too short ({len(data)} bytes)"
+            )
         (count,) = struct.unpack("<I", data[:4])
         payload = data[4:]
+        if len(payload) != (count + 7) // 8:
+            raise ChannelIntegrityError(
+                f"bit payload size mismatch: declares {count} bits, "
+                f"carries {len(payload)} bytes"
+            )
         return [(payload[i // 8] >> (i % 8)) & 1 for i in range(count)]
 
 
-def make_channel_pair() -> Tuple[Channel, Channel, ChannelStats]:
+def make_channel_pair(
+    deadline: Optional["Deadline"] = None,
+) -> Tuple[Channel, Channel, ChannelStats]:
     """Create the two endpoints of a duplex link plus shared stats.
+
+    Args:
+        deadline: optional per-request budget attached to both endpoints
+            (every recv is charged against it).
 
     Returns:
         ``(alice_end, bob_end, stats)`` — what Alice sends, Bob receives,
         and vice versa.
     """
-    a_to_b: Deque[bytes] = collections.deque()
-    b_to_a: Deque[bytes] = collections.deque()
+    a_to_b: Deque[Frame] = collections.deque()
+    b_to_a: Deque[Frame] = collections.deque()
     stats = ChannelStats()
     alice = Channel(outbox=a_to_b, inbox=b_to_a, stats=stats, direction="a2b")
     bob = Channel(outbox=b_to_a, inbox=a_to_b, stats=stats, direction="b2a")
+    alice.deadline = deadline
+    bob.deadline = deadline
     return alice, bob, stats

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import hashlib
 import secrets
-from typing import List, Sequence, Tuple
+import struct
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import OTError
+from ..errors import ChannelIntegrityError, OTError
+from .channel import Channel
 from .ot import MODP_2048, OTGroup, run_ot_batch
 from .rng import RngLike, rand_bits
 from .sha256_vec import sha256_many
@@ -100,6 +102,7 @@ def extension_ot(
     group: OTGroup = MODP_2048,
     rng: RngLike = secrets,
     kappa: int = KAPPA,
+    channel: Optional[Tuple[Channel, Channel]] = None,
 ) -> Tuple[List[bytes], int]:
     """Run IKNP extension locally (both roles in-process).
 
@@ -109,6 +112,11 @@ def extension_ot(
         group: group for the ``kappa`` base OTs.
         rng: randomness source.
         kappa: computational security parameter (base-OT count).
+        channel: optional ``(alice_end, bob_end)`` endpoints; when given
+            both extension flights — the base-OT column payloads
+            (receiver-to-sender) and the masked message planes
+            (sender-to-receiver) — travel as checksummed ``"ot"``-tagged
+            frames, so injected wire faults hit the real OT data path.
 
     Returns:
         ``(chosen_messages, transferred_bytes)`` where the second element
@@ -134,6 +142,23 @@ def extension_ot(
             (np.packbits(col).tobytes(), np.packbits(col ^ choice_bits).tobytes())
         )
     received = run_ot_batch(base_pairs, s_bits, group=group, rng=rng)
+    if channel is not None:
+        # the columns travel receiver-to-sender: frame them so injected
+        # faults (corruption, truncation, drops) hit real OT traffic and
+        # are detected by the checksum/tag validation on recv
+        alice_end, bob_end = channel
+        col_len = (m + 7) // 8
+        bob_end.send_bytes(b"".join(received), tag="ot")
+        cols_blob = alice_end.recv_bytes(expected_tag="ot")
+        if len(cols_blob) != kappa * col_len:
+            raise ChannelIntegrityError(
+                f"OT column payload size mismatch: expected "
+                f"{kappa * col_len} bytes for {kappa} columns, got "
+                f"{len(cols_blob)}"
+            )
+        received = [
+            cols_blob[j * col_len : (j + 1) * col_len] for j in range(kappa)
+        ]
     q_columns = np.stack(
         [
             np.unpackbits(np.frombuffer(data, dtype=np.uint8))[:m]
@@ -163,6 +188,22 @@ def extension_ot(
         y0_plane = m0_plane ^ _hash_rows(q_packed, length)
         y1_plane = m1_plane ^ _hash_rows(qf_packed, length)
         transferred = 2 * m * length + m * kappa // 8
+        if channel is not None:
+            alice_end, bob_end = channel
+            alice_end.send_bytes(
+                y0_plane.tobytes() + y1_plane.tobytes(), tag="ot"
+            )
+            masked_blob = bob_end.recv_bytes(expected_tag="ot")
+            if len(masked_blob) != 2 * m * length:
+                raise ChannelIntegrityError(
+                    f"OT masked-plane payload size mismatch: expected "
+                    f"{2 * m * length} bytes for {m} transfers, got "
+                    f"{len(masked_blob)}"
+                )
+            plane = np.frombuffer(masked_blob, dtype=np.uint8)
+            y0_plane = plane[: m * length].reshape(m, length)
+            y1_plane = plane[m * length :].reshape(m, length)
+            transferred = (len(cols_blob) + 4) + (len(masked_blob) + 4)
         # --- receiver unmasks
         chosen = np.where(
             (choice_bits != 0)[:, None], y1_plane, y0_plane
@@ -180,6 +221,42 @@ def extension_ot(
         masked.append((y0, y1))
         transferred += len(y0) + len(y1)
     transferred += m * kappa // 8  # the base-OT column payloads
+    if channel is not None:
+        alice_end, bob_end = channel
+        alice_end.send_bytes(
+            b"".join(
+                struct.pack("<II", len(y0), len(y1)) + y0 + y1
+                for y0, y1 in masked
+            ),
+            tag="ot",
+        )
+        masked_blob = bob_end.recv_bytes(expected_tag="ot")
+        masked = []
+        offset = 0
+        for i in range(m):
+            if offset + 8 > len(masked_blob):
+                raise ChannelIntegrityError(
+                    f"OT masked payload truncated at transfer {i} of {m}"
+                )
+            len0, len1 = struct.unpack_from("<II", masked_blob, offset)
+            offset += 8
+            if offset + len0 + len1 > len(masked_blob):
+                raise ChannelIntegrityError(
+                    f"OT masked payload truncated at transfer {i} of {m}"
+                )
+            masked.append(
+                (
+                    masked_blob[offset : offset + len0],
+                    masked_blob[offset + len0 : offset + len0 + len1],
+                )
+            )
+            offset += len0 + len1
+        if offset != len(masked_blob):
+            raise ChannelIntegrityError(
+                f"OT masked payload carries {len(masked_blob) - offset} "
+                "trailing bytes"
+            )
+        transferred = (len(cols_blob) + 4) + (len(masked_blob) + 4)
     # --- receiver unmasks
     t_rows = _row_bytes(t_matrix)
     out: List[bytes] = []

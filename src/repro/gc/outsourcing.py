@@ -15,15 +15,18 @@ from __future__ import annotations
 
 import dataclasses
 import secrets
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..circuits.builder import CircuitBuilder
 from ..circuits.netlist import Circuit
 from ..errors import ProtocolError
 from .cipher import HashKDF
 from .ot import MODP_2048, OTGroup
-from .protocol import ProtocolResult, TwoPartySession
+from .protocol import ChannelFactory, ProtocolResult, TwoPartySession
 from .rng import RngLike, rand_bits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..resilience.deadline import Deadline
 
 __all__ = ["split_input", "outsource_circuit", "OutsourcedSession"]
 
@@ -113,17 +116,20 @@ class OutsourcedSession:
         kdf: Optional[HashKDF] = None,
         ot_group: OTGroup = MODP_2048,
         rng: RngLike = secrets,
+        channel_factory: Optional[ChannelFactory] = None,
     ) -> None:
         self.original = circuit
         self.transformed = outsource_circuit(circuit)
         self.kdf = kdf
         self.ot_group = ot_group
         self.rng = rng
+        self.channel_factory = channel_factory
 
     def run(
         self,
         client_bits: Sequence[int],
         server_bits: Sequence[int],
+        deadline: Optional["Deadline"] = None,
     ) -> OutsourcedResult:
         """Execute with the client's data and the main server's params."""
         if len(client_bits) != self.original.n_alice:
@@ -136,6 +142,9 @@ class OutsourcedSession:
             kdf=self.kdf,
             ot_group=self.ot_group,
             rng=self.rng,
+            channel_factory=self.channel_factory,
         )
-        result = session.run(share_s, list(share_xs) + list(server_bits))
+        result = session.run(
+            share_s, list(share_xs) + list(server_bits), deadline=deadline
+        )
         return OutsourcedResult(outputs=result.outputs, proxy_result=result)

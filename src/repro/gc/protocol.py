@@ -15,13 +15,28 @@ import dataclasses
 import secrets
 import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from ..circuits.netlist import Circuit
-from ..errors import ProtocolError
-from .channel import ChannelStats, make_channel_pair
+from ..errors import ChannelIntegrityError, ProtocolError
+from .channel import Channel, ChannelStats, make_channel_pair
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..resilience.deadline import Deadline
+
+#: Builds the two endpoints of a request's link plus shared accounting —
+#: the seam where the fault-injection harness swaps in FaultyChannel.
+ChannelFactory = Callable[[], Tuple[Channel, Channel, ChannelStats]]
 from .cipher import HashKDF, default_kdf
 from .evaluate import Evaluator
 from .fastgarble import FastEvaluator, garble_many
@@ -130,6 +145,10 @@ class TwoPartySession:
         rng: randomness source for labels and OT.
         vectorized: drive the level-scheduled NumPy engine for garbling
             and evaluation (default; bit-exact with the scalar path).
+        channel_factory: builds each request's channel pair — the seam
+            where the chaos harness injects a
+            :class:`repro.resilience.FaultyChannel`; defaults to the
+            healthy in-memory link.
     """
 
     def __init__(
@@ -139,6 +158,7 @@ class TwoPartySession:
         ot_group: OTGroup = MODP_2048,
         rng: RngLike = secrets,
         vectorized: bool = True,
+        channel_factory: Optional[ChannelFactory] = None,
     ) -> None:
         if circuit.n_state:
             raise ProtocolError(
@@ -150,6 +170,19 @@ class TwoPartySession:
         self.ot_group = ot_group
         self.rng = rng
         self.vectorized = bool(vectorized)
+        self.channel_factory: ChannelFactory = (
+            channel_factory if channel_factory is not None else make_channel_pair
+        )
+
+    def _open_channel(
+        self, deadline: Optional["Deadline"]
+    ) -> Tuple[Channel, Channel, ChannelStats]:
+        """Build one request's link and arm both endpoints' deadline."""
+        alice_end, bob_end, stats = self.channel_factory()
+        if deadline is not None:
+            alice_end.deadline = deadline
+            bob_end.deadline = deadline
+        return alice_end, bob_end, stats
 
     def pregarble(self) -> Pregarbled:
         """Run the input-independent garbling phase ahead of time.
@@ -208,6 +241,7 @@ class TwoPartySession:
         alice_bits_list: Sequence[Sequence[int]],
         bob_bits_list: Sequence[Sequence[int]],
         pregarbled: Optional[Sequence[Optional[Pregarbled]]] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> List[ProtocolResult]:
         """Serve ``k`` requests through one batched evaluation pass.
 
@@ -225,6 +259,8 @@ class TwoPartySession:
             bob_bits_list: per-request server input bits (same length).
             pregarbled: optional per-request offline material; ``None``
                 slots are garbled fresh in one batch.
+            deadline: optional time budget for the whole batch, checked
+                at every phase boundary and on every recv.
 
         Returns:
             One :class:`ProtocolResult` per request, in request order.
@@ -245,7 +281,7 @@ class TwoPartySession:
             # the scalar reference has no batch evaluator; fall back to
             # request-at-a-time runs (same results, no amortization)
             return [
-                self.run(a, b, pregarbled=s)
+                self.run(a, b, pregarbled=s, deadline=deadline)
                 for a, b, s in zip(alice_bits_list, bob_bits_list, slots)
             ]
 
@@ -295,6 +331,8 @@ class TwoPartySession:
             for i, pair in zip(missing, fresh):
                 material[i] = pair
                 garble_s[i] = per_copy
+        if deadline is not None:
+            deadline.check("garble")
 
         # (ii) transfer + OT, per request over its own accounted channel
         per_request = []
@@ -303,7 +341,7 @@ class TwoPartySession:
         bob_label_lists = []
         for i in range(k):
             garbler, garbled = material[i]
-            alice_end, bob_end, stats = make_channel_pair()
+            alice_end, bob_end, stats = self._open_channel(deadline)
             start = time.perf_counter()
             alice_end.send_bytes(garbled.tables_bytes(), tag="tables")
             alice_end.send_labels(
@@ -315,14 +353,15 @@ class TwoPartySession:
                 ),
                 tag="alice_labels",
             )
-            tables_blob = bob_end.recv_bytes()
-            bob_end.recv_labels()  # const labels travel inside the view
-            alice_labels = bob_end.recv_labels()
+            tables_blob = bob_end.recv_bytes(expected_tag="tables")
+            # const labels travel inside the view
+            bob_end.recv_labels(expected_tag="const_labels")
+            alice_labels = bob_end.recv_labels(expected_tag="alice_labels")
             transfer_s = time.perf_counter() - start
             start = time.perf_counter()
             bob_labels = self._oblivious_transfer(
                 garbler, list(circuit.bob_inputs), list(bob_bits_list[i]),
-                stats,
+                stats, channel=(alice_end, bob_end),
             )
             ot_s = time.perf_counter() - start
             garbled_views.append(self._parse_tables(tables_blob, garbled))
@@ -339,6 +378,8 @@ class TwoPartySession:
             garbled_views, alice_label_lists, bob_label_lists
         )
         evaluate_per_request = (time.perf_counter() - start) / k
+        if deadline is not None:
+            deadline.check("evaluate")
 
         # (iv) merge per request
         counts = circuit.counts()
@@ -351,7 +392,9 @@ class TwoPartySession:
             bob_end.send_labels(
                 evaluator.output_labels(planes[i]), tag="output_labels"
             )
-            outputs = garbler.decode_outputs(alice_end.recv_labels())
+            outputs = garbler.decode_outputs(
+                alice_end.recv_labels(expected_tag="output_labels")
+            )
             merge_s = time.perf_counter() - start
             results.append(
                 ProtocolResult(
@@ -376,6 +419,7 @@ class TwoPartySession:
         bob_bits: Sequence[int],
         share_result: bool = False,
         pregarbled: Optional[Pregarbled] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> ProtocolResult:
         """Execute the protocol on plaintext inputs.
 
@@ -387,9 +431,12 @@ class TwoPartySession:
             pregarbled: offline material from :meth:`pregarble`; skips
                 the online garbling phase (``times['garble']`` is then
                 the near-zero bookkeeping cost).
+            deadline: optional per-request time budget, checked at every
+                phase boundary and charged on every recv; expiry raises
+                :class:`repro.errors.DeadlineExceeded`.
         """
         circuit = self.circuit
-        alice_end, bob_end, stats = make_channel_pair()
+        alice_end, bob_end, stats = self._open_channel(deadline)
         times: Dict[str, float] = {}
 
         # (i) garbling — Alice (offline when pregarbled material exists)
@@ -406,6 +453,8 @@ class TwoPartySession:
             )
             garbled = garbler.garble()
         times["garble"] = time.perf_counter() - start
+        if deadline is not None:
+            deadline.check("garble")
 
         # (ii) data transfer + OT
         start = time.perf_counter()
@@ -417,14 +466,15 @@ class TwoPartySession:
             garbler.input_labels_for(list(circuit.alice_inputs), list(alice_bits)),
             tag="alice_labels",
         )
-        tables_blob = bob_end.recv_bytes()
-        const_labels = bob_end.recv_labels()
-        alice_labels = bob_end.recv_labels()
+        tables_blob = bob_end.recv_bytes(expected_tag="tables")
+        const_labels = bob_end.recv_labels(expected_tag="const_labels")
+        alice_labels = bob_end.recv_labels(expected_tag="alice_labels")
         times["transfer"] = time.perf_counter() - start
 
         start = time.perf_counter()
         bob_labels = self._oblivious_transfer(
-            garbler, list(circuit.bob_inputs), list(bob_bits), stats
+            garbler, list(circuit.bob_inputs), list(bob_bits), stats,
+            channel=(alice_end, bob_end),
         )
         times["ot"] = time.perf_counter() - start
 
@@ -436,14 +486,18 @@ class TwoPartySession:
         wire_labels = evaluator.evaluate(received, alice_labels, bob_labels)
         output_labels = evaluator.output_labels(wire_labels)
         times["evaluate"] = time.perf_counter() - start
+        if deadline is not None:
+            deadline.check("evaluate")
 
         # (iv) merge — Bob returns output labels, Alice decodes
         start = time.perf_counter()
         bob_end.send_labels(output_labels, tag="output_labels")
-        outputs = garbler.decode_outputs(alice_end.recv_labels())
+        outputs = garbler.decode_outputs(
+            alice_end.recv_labels(expected_tag="output_labels")
+        )
         if share_result:
             alice_end.send_bits(outputs, tag="shared_result")
-            bob_outputs = bob_end.recv_bits()
+            bob_outputs = bob_end.recv_bits(expected_tag="shared_result")
             if bob_outputs != outputs:
                 raise ProtocolError("result sharing corrupted")
         times["merge"] = time.perf_counter() - start
@@ -499,11 +553,13 @@ class TwoPartySession:
         wires: List[int],
         bits: List[int],
         stats: ChannelStats,
+        channel: Optional[Tuple[Channel, Channel]] = None,
     ) -> List[int]:
         """Transfer Bob's input labels obliviously; accounts traffic."""
         labels, _ = transfer_input_labels(
             garbler, wires, bits,
             group=self.ot_group, rng=self.rng, stats=stats,
+            channel=channel,
         )
         return labels
 
@@ -515,6 +571,7 @@ def transfer_input_labels(
     group: OTGroup = MODP_2048,
     rng: RngLike = secrets,
     stats: Optional[ChannelStats] = None,
+    channel: Optional[Tuple[Channel, Channel]] = None,
 ) -> Tuple[List[int], int]:
     """Transfer the evaluator's input labels obliviously.
 
@@ -529,7 +586,13 @@ def transfer_input_labels(
         group: group for base OTs.
         rng: randomness source.
         stats: optional channel accounting; traffic is recorded under
-            the ``"ot"`` tag when given.
+            the ``"ot"`` tag when given (ignored in channel mode, where
+            the channel accounts its own frames).
+        channel: optional ``(alice_end, bob_end)`` endpoints; when given
+            every OT flight travels as checksummed ``"ot"``-tagged
+            frames, so injected wire faults hit the OT data path and are
+            detected by the framing layer (and deadlines are charged on
+            every flight).
 
     Returns:
         ``(labels, total_bytes)`` — the chosen labels and the OT traffic.
@@ -547,12 +610,19 @@ def transfer_input_labels(
     def account(direction: str, size: int) -> None:
         nonlocal total
         total += size
-        if stats is not None:
+        if stats is not None and channel is None:
             stats.record(direction, "ot", size)
 
     if len(wires) >= OT_EXTENSION_THRESHOLD:
-        chosen, transferred = extension_ot(pairs, list(bits), group=group, rng=rng)
+        chosen, transferred = extension_ot(
+            pairs, list(bits), group=group, rng=rng, channel=channel
+        )
         account("a2b", transferred)
+    elif channel is not None:
+        chosen = _base_ot_over_channel(pairs, list(bits), group, rng, channel)
+        total = sum(
+            size for _, tag, size in channel[0]._stats.log if tag == "ot"
+        )
     else:
         from .ot import OTReceiver, OTSender
 
@@ -572,6 +642,78 @@ def transfer_input_labels(
         )
         chosen = receiver.recover(responses)
     return [int.from_bytes(data, "little") for data in chosen], total
+
+
+def _base_ot_over_channel(
+    pairs: List[Tuple[bytes, bytes]],
+    bits: List[int],
+    group: OTGroup,
+    rng: RngLike,
+    channel: Tuple[Channel, Channel],
+) -> List[bytes]:
+    """Run the base OT with every flight framed over the channel.
+
+    Group elements travel fixed-width (the group modulus width), so
+    payload sizes are deterministic and truncation is structurally
+    detectable on top of the checksum.
+    """
+    from .ot import OTReceiver, OTSender
+
+    alice_end, bob_end = channel
+    m = len(pairs)
+    width = (group.prime.bit_length() + 7) // 8
+    msg_len = len(pairs[0][0])
+
+    sender = OTSender(pairs, group=group, rng=rng)
+    receiver = OTReceiver(bits, group=group, rng=rng)
+
+    alice_end.send_bytes(sender.setup().to_bytes(width, "little"), tag="ot")
+    c_blob = bob_end.recv_bytes(expected_tag="ot")
+    if len(c_blob) != width:
+        raise ChannelIntegrityError(
+            f"OT setup element size mismatch: expected {width} bytes, "
+            f"got {len(c_blob)}"
+        )
+    keys = receiver.public_keys(int.from_bytes(c_blob, "little"))
+    bob_end.send_bytes(
+        b"".join(k.to_bytes(width, "little") for k in keys), tag="ot"
+    )
+    keys_blob = alice_end.recv_bytes(expected_tag="ot")
+    if len(keys_blob) != width * m:
+        raise ChannelIntegrityError(
+            f"OT public-key payload size mismatch: expected {width * m} "
+            f"bytes for {m} transfers, got {len(keys_blob)}"
+        )
+    responses = sender.respond(
+        [
+            int.from_bytes(keys_blob[i * width : (i + 1) * width], "little")
+            for i in range(m)
+        ]
+    )
+    alice_end.send_bytes(
+        b"".join(
+            g.to_bytes(width, "little") + e0 + e1 for g, e0, e1 in responses
+        ),
+        tag="ot",
+    )
+    resp_blob = bob_end.recv_bytes(expected_tag="ot")
+    unit = width + 2 * msg_len
+    if len(resp_blob) != unit * m:
+        raise ChannelIntegrityError(
+            f"OT response payload size mismatch: expected {unit * m} "
+            f"bytes for {m} transfers, got {len(resp_blob)}"
+        )
+    wire_responses = []
+    for i in range(m):
+        chunk = resp_blob[i * unit : (i + 1) * unit]
+        wire_responses.append(
+            (
+                int.from_bytes(chunk[:width], "little"),
+                chunk[width : width + msg_len],
+                chunk[width + msg_len :],
+            )
+        )
+    return receiver.recover(wire_responses)
 
 
 def execute(

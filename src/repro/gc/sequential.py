@@ -28,13 +28,17 @@ import dataclasses
 import secrets
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..circuits.sequential import SequentialCircuit
 from ..errors import GarblingError, ProtocolError
-from .channel import ChannelStats, make_channel_pair
+from .channel import Channel, ChannelStats, make_channel_pair
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..resilience.deadline import Deadline
+    from .protocol import ChannelFactory
 from .cipher import HashKDF, default_kdf
 from .evaluate import Evaluator
 from .fastgarble import FastEvaluator
@@ -86,6 +90,9 @@ class SequentialSession:
             cycle ``i`` on a worker thread (paper Fig. 5).  Bit-exact
             with the unpipelined run; wall-clock only wins with spare
             cores.
+        channel_factory: builds the session's channel pair — the seam
+            for the fault-injection harness; defaults to the healthy
+            in-memory link.
     """
 
     def __init__(
@@ -96,6 +103,7 @@ class SequentialSession:
         rng: RngLike = secrets,
         vectorized: bool = True,
         pipelined: bool = False,
+        channel_factory: Optional["ChannelFactory"] = None,
     ) -> None:
         self.sequential = sequential
         self.kdf = kdf or default_kdf()
@@ -103,23 +111,31 @@ class SequentialSession:
         self.rng = rng
         self.vectorized = bool(vectorized)
         self.pipelined = bool(pipelined)
+        self.channel_factory: "ChannelFactory" = (
+            channel_factory if channel_factory is not None else make_channel_pair
+        )
 
     def run(
         self,
         alice_cycles: Sequence[Sequence[int]],
         bob_cycles: Sequence[Sequence[int]],
         cycles: Optional[int] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> SequentialResult:
         """Execute the protocol for ``cycles`` clock cycles.
 
         Input conventions match
         :meth:`repro.circuits.sequential.SequentialCircuit.run`: a single
-        entry is broadcast to every cycle.
+        entry is broadcast to every cycle.  A ``deadline`` is charged on
+        every recv and checked after each cycle's evaluation.
         """
         seq = self.sequential
         core = seq.core
         n_cycles = cycles or max(len(alice_cycles), len(bob_cycles), 1)
-        alice_end, bob_end, stats = make_channel_pair()
+        alice_end, bob_end, stats = self.channel_factory()
+        if deadline is not None:
+            alice_end.deadline = deadline
+            bob_end.deadline = deadline
         vectorized = self.vectorized
 
         store = (
@@ -227,11 +243,16 @@ class SequentialSession:
                 alice_end.send_labels(
                     pkg["alice_labels"], tag="alice_labels"
                 )
-                blob = bob_end.recv_bytes()
-                const_labels = bob_end.recv_labels()
-                alice_labels = bob_end.recv_labels()
+                blob = bob_end.recv_bytes(expected_tag="tables")
+                const_labels = bob_end.recv_labels(
+                    expected_tag="const_labels"
+                )
+                alice_labels = bob_end.recv_labels(
+                    expected_tag="alice_labels"
+                )
                 bob_labels = self._oblivious_transfer(
-                    pkg["bob_pairs"], bob_bits, stats
+                    pkg["bob_pairs"], bob_bits, stats,
+                    channel=(alice_end, bob_end),
                 )
 
                 # this cycle's rng draws (labels, OT) are done — cycle
@@ -270,11 +291,13 @@ class SequentialSession:
                 )
                 outputs.append(
                     self._decode_outputs(
-                        alice_end.recv_labels(),
+                        alice_end.recv_labels(expected_tag="output_labels"),
                         pkg["out_zero"],
                         pkg["delta"],
                     )
                 )
+                if deadline is not None:
+                    deadline.check(f"cycle {cycle} merge")
 
                 # carry register labels into the next cycle
                 if vectorized:
@@ -338,6 +361,7 @@ class SequentialSession:
         pairs: Sequence[Tuple[int, int]],
         bits: Sequence[int],
         stats: ChannelStats,
+        channel: Optional[Tuple[Channel, Channel]] = None,
     ) -> List[int]:
         if len(pairs) != len(bits):
             raise ProtocolError("Bob's input width mismatch")
@@ -348,7 +372,10 @@ class SequentialSession:
             for zero, one in pairs
         ]
         chosen, transferred = extension_ot(
-            byte_pairs, bits, group=self.ot_group, rng=self.rng
+            byte_pairs, bits, group=self.ot_group, rng=self.rng,
+            channel=channel,
         )
-        stats.record("a2b", "ot", transferred)
+        if channel is None:
+            # channel mode accounts its own frames on send
+            stats.record("a2b", "ot", transferred)
         return [int.from_bytes(data, "little") for data in chosen]

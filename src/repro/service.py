@@ -22,6 +22,7 @@ keep working as thin deprecation shims over the new API.
 from __future__ import annotations
 
 import dataclasses
+import random
 import threading
 import warnings
 from collections import deque
@@ -40,6 +41,13 @@ from .gc.cipher import HashKDF, default_kdf
 from .gc.ot import OTGroup
 from .nn.model import Sequential
 from .nn.quantize import QuantizedModel
+from .resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    fault_category,
+    faulty_channel_factory,
+    is_transient,
+)
 
 __all__ = [
     "InferenceRequest",
@@ -85,6 +93,12 @@ class InferenceResult:
             (``infer_many(..., return_errors=True)`` marks failed slots
             this way instead of discarding the whole batch); ``label``
             is -1 for failed results.
+        error_type: exception class name of the failure (``error`` keeps
+            the human-readable message; this field survives formatting,
+            so callers can branch on it).
+        error_category: ``"transient"`` (wire fault / deadline — a retry
+            could have cleared it) or ``"permanent"`` (semantic error);
+            None for successful results.
     """
 
     label: int
@@ -95,6 +109,8 @@ class InferenceResult:
     request_id: Optional[str] = None
     pregarbled: bool = False
     error: Optional[str] = None
+    error_type: Optional[str] = None
+    error_category: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -171,12 +187,31 @@ class PrivateInferenceService:
         )
         self._backends: Dict[str, Backend] = {}
         self._lock = threading.Lock()
+        # resilience wiring: the channel factory injects the configured
+        # fault plan into every channel the backends build; the retry
+        # policy re-attempts transient wire faults; one breaker per
+        # backend name gates degraded serving.  Jitter rng is seeded so
+        # chaos runs are reproducible end to end.
+        self._channel_factory = (
+            faulty_channel_factory(config.fault_plan)
+            if config.fault_plan is not None
+            else None
+        )
+        self._retry = RetryPolicy(
+            max_retries=config.max_retries,
+            backoff_s=config.retry_backoff_s,
+            rng=random.Random(0),
+        )
+        self._breakers: Dict[str, CircuitBreaker] = {}
         # serving counters; mutated only under self._lock (execute runs
         # on infer_many's thread pool, so unlocked += would drop updates)
         self._stats: Dict[str, object] = {
             "requests": 0,
             "errors": 0,
             "pregarbled": 0,
+            "retries": 0,
+            "transient_faults": 0,
+            "degraded": 0,
             "by_backend": {},
         }
         # the pool is created at its configured capacity but stays cold:
@@ -267,12 +302,19 @@ class PrivateInferenceService:
 
     @property
     def stats(self) -> Dict[str, object]:
-        """Serving counters plus pool stats, snapshotted under the lock."""
+        """Serving counters plus pool/breaker/fault stats (locked snapshot)."""
         with self._lock:
             snapshot: Dict[str, object] = dict(self._stats)
             snapshot["by_backend"] = dict(self._stats["by_backend"])
+            breakers = dict(self._breakers)
             pool = self._pool
-        # the pool takes its own lock; call it outside ours (lock order)
+        # pool and breakers take their own locks; call outside ours
+        if breakers:
+            snapshot["breakers"] = {
+                name: breaker.stats() for name, breaker in breakers.items()
+            }
+        if self.config.fault_plan is not None:
+            snapshot["faults"] = self.config.fault_plan.stats()
         if pool is not None:
             snapshot["pool"] = pool.stats()
         return snapshot
@@ -309,24 +351,65 @@ class PrivateInferenceService:
 
     # -- inference --------------------------------------------------------
 
+    def _backend_options(self, name: str, pooled: bool = True) -> Dict[str, object]:
+        """Constructor keywords for backend ``name`` (caller holds the lock)."""
+        options: Dict[str, object] = dict(
+            kdf=self._kdf,
+            ot_group=self.config.ot_group,
+            rng=self.config.rng,
+            vectorized=self.config.vectorized,
+            channel_factory=self._channel_factory,
+            request_timeout_s=self.config.request_timeout_s,
+        )
+        if name == self.config.backend:
+            options.update(self.config.backend_options)
+        if name == "two_party":
+            if pooled and self._pool is not None:
+                options.setdefault("pool", self._pool)
+            elif not pooled:
+                options.pop("pool", None)
+        return options
+
     def _backend(self, name: str) -> Backend:
         """Backend instance for ``name`` (cached; backends are stateless)."""
         with self._lock:
             backend = self._backends.get(name)
             if backend is None:
-                options = dict(
-                    kdf=self._kdf,
-                    ot_group=self.config.ot_group,
-                    rng=self.config.rng,
-                    vectorized=self.config.vectorized,
-                )
-                if name == self.config.backend:
-                    options.update(self.config.backend_options)
-                if name == "two_party" and self._pool is not None:
-                    options.setdefault("pool", self._pool)
-                backend = get_backend(name, **options)
+                backend = get_backend(name, **self._backend_options(name))
                 self._backends[name] = backend
         return backend
+
+    def _degraded_backend(self, name: str) -> Backend:
+        """Backend variant serving while ``name``'s breaker is open.
+
+        Degradation sheds stateful fast paths: the two-party backend is
+        rebuilt *without* the pre-garbled pool (pooled falls back to
+        cold garbling, so a poisoned pool can't keep failing requests).
+        Other backends have no pooled state to shed, so they degrade to
+        their plain instance.
+        """
+        if name != "two_party":
+            return self._backend(name)
+        with self._lock:
+            backend = self._backends.get("two_party#cold")
+            if backend is None:
+                backend = get_backend(
+                    "two_party", **self._backend_options("two_party", pooled=False)
+                )
+                self._backends["two_party#cold"] = backend
+        return backend
+
+    def _breaker(self, name: str) -> CircuitBreaker:
+        """The circuit breaker guarding backend ``name`` (lazily created)."""
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    threshold=self.config.breaker_threshold,
+                    cooldown_s=self.config.breaker_cooldown_s,
+                )
+                self._breakers[name] = breaker
+        return breaker
 
     def _record_result(
         self, request: InferenceRequest, result: ExecutionResult
@@ -350,14 +433,31 @@ class PrivateInferenceService:
             by_backend[record.backend] = by_backend.get(record.backend, 0) + 1
         return record
 
-    def _record_error(self) -> None:
+    def _record_error(self, exc: Optional[BaseException] = None) -> None:
         """Count one failed request (locked)."""
         with self._lock:
             self._stats["requests"] += 1
             self._stats["errors"] += 1
+            if exc is not None and is_transient(exc):
+                self._stats["transient_faults"] += 1
+
+    def _note_retry(self, exc: BaseException, attempt: int) -> None:
+        """RetryPolicy observer: count a transient fault + retry (locked)."""
+        with self._lock:
+            self._stats["retries"] += 1
+            self._stats["transient_faults"] += 1
 
     def execute(self, request: InferenceRequest) -> InferenceResult:
         """Serve one typed request through the configured engine.
+
+        Resilience path: transient wire faults (corruption, drops,
+        expired deadlines) retry up to ``EngineConfig.max_retries``
+        times with backoff — each attempt builds a fresh channel pair
+        and deadline.  Outcomes feed the backend's circuit breaker;
+        while it is open, two-party requests serve degraded (cold
+        garbling, bypassing the pre-garbled pool) until a half-open
+        probe succeeds.  Semantic errors never retry and surface
+        immediately.
 
         Thread-safe: ``infer_many`` runs this concurrently, so the
         shared history/stats mutation happens under the service lock
@@ -366,15 +466,39 @@ class PrivateInferenceService:
         backend_name = request.backend or self.config.backend
         try:
             sample = np.asarray(request.sample)
-            backend = self._backend(backend_name)
-            result: ExecutionResult = backend.run(
-                self.compiled.circuit,
-                self.compiled.client_bits(sample),
-                self._server_bits,
-            )
+            client_bits = self.compiled.client_bits(sample)
         except Exception:
+            # malformed input is the caller's fault: count the error but
+            # never charge it to the backend's breaker
             self._record_error()
             raise
+        breaker = self._breaker(backend_name)
+        degraded = not breaker.allow()
+        backend = (
+            self._degraded_backend(backend_name)
+            if degraded
+            else self._backend(backend_name)
+        )
+        if degraded:
+            with self._lock:
+                self._stats["degraded"] += 1
+
+        def attempt() -> ExecutionResult:
+            return backend.run(
+                self.compiled.circuit, client_bits, self._server_bits
+            )
+
+        try:
+            result: ExecutionResult = self._retry.call(
+                attempt, on_retry=self._note_retry
+            )
+        except Exception as exc:
+            if not degraded:
+                breaker.record_failure()
+            self._record_error(exc)
+            raise
+        if not degraded:
+            breaker.record_success()
         return self._record_result(request, result)
 
     def infer(
@@ -444,6 +568,14 @@ class PrivateInferenceService:
         run_many = getattr(backend, "run_many", None)
         if run_many is None:
             return everything
+        breaker = self._breaker("two_party")
+        if breaker.state == "open":
+            # breaker open: shed the batched fast path — the group falls
+            # through to per-request scalar serving, which degrades to
+            # cold garbling under the same breaker
+            with self._lock:
+                self._stats["degraded"] += 1
+            return everything
         eligible_set = set(eligible)
         pending = [i for i in everything if i not in eligible_set]
         bits: List[List[int]] = []
@@ -464,13 +596,19 @@ class PrivateInferenceService:
                 results = run_many(
                     self.compiled.circuit, bits, self._server_bits
                 )
-            except Exception:
+            except Exception as exc:
                 # a batch-level failure must not fail every request in
                 # it: retry the group request-at-a-time on the scalar
-                # path, where errors isolate per request
+                # path, where errors isolate per request (and transient
+                # faults get the retry policy)
+                breaker.record_failure()
+                if is_transient(exc):
+                    with self._lock:
+                        self._stats["transient_faults"] += 1
                 pending.extend(good)
                 pending.sort()
             else:
+                breaker.record_success()
                 for i, result in zip(good, results):
                     outcomes[i] = self._record_result(normalized[i], result)
         return pending
@@ -566,6 +704,8 @@ class PrivateInferenceService:
                     backend=normalized[index].backend or self.config.backend,
                     request_id=normalized[index].request_id,
                     error=f"{type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
+                    error_category=fault_category(exc),
                 )
         return outcomes
 

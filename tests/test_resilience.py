@@ -1,0 +1,578 @@
+"""Resilience-layer tests: the chaos matrix plus unit coverage.
+
+The matrix drives every fault kind (drop / corrupt / truncate / delay)
+against every protocol flight class (tables / OT / input labels) across
+the two_party, folded and cut_and_choose flows, and asserts the PR's
+core invariant: a faulted run either completes with the *correct*
+outputs (the fault missed that flow's wire, or a retry cleared it) or
+raises a clean typed transient :class:`repro.errors.ReproError` —
+never a silent hang, never a wrong label.
+
+Seeded end to end: set ``REPRO_CHAOS_SEED`` to re-run the matrix under
+a different corruption/truncation randomness (CI runs three seeds).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder, FixedPointFormat, simulate
+from repro.engine import EngineConfig, PregarbledPool, get_backend
+from repro.errors import (
+    ChannelEmptyError,
+    ChannelIntegrityError,
+    CompileError,
+    DeadlineExceeded,
+    EngineError,
+    ReproError,
+)
+from repro.gc.channel import make_channel_pair
+from repro.gc.ot import TEST_GROUP_512
+from repro.nn import Dense, Sequential, Tanh, TrainConfig, Trainer
+from repro.resilience import (
+    TRANSIENT_ERRORS,
+    CircuitBreaker,
+    Deadline,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    fault_category,
+    faulty_channel_factory,
+    is_transient,
+)
+from repro.service import PrivateInferenceService
+
+#: Chaos randomness seed — CI's chaos job sweeps several values.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+FMT = FixedPointFormat(2, 6)
+
+
+def small_circuit(seed=7, n_gates=50, n_inputs=4):
+    rng = random.Random(seed)
+    bld = CircuitBuilder()
+    a = bld.add_alice_inputs(n_inputs)
+    b = bld.add_bob_inputs(n_inputs)
+    wires = list(a) + list(b)
+    ops = ["xor", "and", "or", "nand", "xnor", "nor"]
+    for _ in range(n_gates):
+        op = rng.choice(ops)
+        wires.append(getattr(bld, f"emit_{op}")(
+            rng.choice(wires), rng.choice(wires)
+        ))
+    for w in wires[-4:]:
+        bld.mark_output(w)
+    return bld.build()
+
+
+def _wait_until(predicate, timeout=15.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ---------------------------------------------------------------------------
+# the chaos matrix
+# ---------------------------------------------------------------------------
+
+
+def _fault_spec(kind, tag):
+    if kind == "delay":
+        # far beyond the request deadline: must surface DeadlineExceeded
+        return FaultSpec("delay", tag=tag, nth=0, delay_s=120.0)
+    return FaultSpec(kind, tag=tag, nth=0)
+
+
+class TestChaosMatrix:
+    """Every fault x flight x flow: typed error or correct output."""
+
+    @pytest.mark.parametrize("backend_name", [
+        "two_party", "folded", "cut_and_choose",
+    ])
+    @pytest.mark.parametrize("tag", ["tables", "ot", "alice_labels"])
+    @pytest.mark.parametrize("kind", ["drop", "corrupt", "truncate", "delay"])
+    def test_fault_never_yields_wrong_output(self, kind, tag, backend_name):
+        circuit = small_circuit()
+        rng = random.Random(CHAOS_SEED)
+        a = [rng.randrange(2) for _ in range(4)]
+        b = [rng.randrange(2) for _ in range(4)]
+        expected = simulate(circuit, a, b)
+        plan = FaultPlan([_fault_spec(kind, tag)], seed=CHAOS_SEED)
+        backend = get_backend(
+            backend_name,
+            ot_group=TEST_GROUP_512,
+            rng=random.Random(CHAOS_SEED + 1),
+            channel_factory=faulty_channel_factory(plan),
+            request_timeout_s=30.0,
+        )
+        try:
+            result = backend.run(circuit, a, b)
+        except ReproError as exc:
+            # clean typed failure, classified transient (retryable)
+            assert is_transient(exc), exc
+            assert fault_category(exc) == "transient"
+        else:
+            # the fault missed this flow's wire (e.g. no frame with the
+            # tag) — then the output must be the correct one
+            assert result.outputs == expected
+
+    @pytest.mark.parametrize("kind", ["drop", "corrupt", "truncate"])
+    def test_retry_clears_oneshot_fault(self, kind):
+        """Plan counters persist across attempts: retry #2 sails through."""
+        circuit = small_circuit()
+        a, b = [1, 0, 1, 0], [0, 1, 1, 0]
+        expected = simulate(circuit, a, b)
+        plan = FaultPlan([_fault_spec(kind, "tables")], seed=CHAOS_SEED)
+        backend = get_backend(
+            "two_party",
+            ot_group=TEST_GROUP_512,
+            rng=random.Random(CHAOS_SEED),
+            channel_factory=faulty_channel_factory(plan),
+        )
+        retried = []
+        policy = RetryPolicy(max_retries=2, backoff_s=0.0)
+        result = policy.call(
+            lambda: backend.run(circuit, a, b),
+            on_retry=lambda exc, attempt: retried.append(type(exc).__name__),
+        )
+        assert result.outputs == expected
+        assert len(retried) == 1
+        assert len(plan.applied) == 1
+
+    def test_delay_within_deadline_is_harmless(self):
+        circuit = small_circuit()
+        a, b = [1, 1, 0, 0], [0, 0, 1, 1]
+        plan = FaultPlan(
+            [FaultSpec("delay", tag="tables", nth=0, delay_s=1.0)],
+            seed=CHAOS_SEED,
+        )
+        backend = get_backend(
+            "two_party",
+            ot_group=TEST_GROUP_512,
+            rng=random.Random(CHAOS_SEED),
+            channel_factory=faulty_channel_factory(plan),
+            request_timeout_s=60.0,
+        )
+        result = backend.run(circuit, a, b)
+        assert result.outputs == simulate(circuit, a, b)
+        assert len(plan.applied) == 1
+
+
+# ---------------------------------------------------------------------------
+# channel integrity + deadline units
+# ---------------------------------------------------------------------------
+
+
+class TestChannelIntegrity:
+    def test_empty_recv_names_tag_direction_and_index(self):
+        alice, bob, _ = make_channel_pair()
+        with pytest.raises(ChannelEmptyError) as err:
+            bob.recv_bytes(expected_tag="tables")
+        message = str(err.value)
+        assert "'tables'" in message
+        assert "'b2a'" in message  # bob's endpoint, named by send direction
+        assert "#0" in message
+
+    def test_corruption_detected_by_checksum(self):
+        plan = FaultPlan([FaultSpec("corrupt", tag="blob")], seed=CHAOS_SEED)
+        alice, bob, _ = faulty_channel_factory(plan)()
+        alice.send_bytes(b"payload-bytes", tag="blob")
+        with pytest.raises(ChannelIntegrityError, match="checksum"):
+            bob.recv_bytes(expected_tag="blob")
+
+    def test_truncation_detected_by_checksum(self):
+        plan = FaultPlan([FaultSpec("truncate", tag="blob")], seed=CHAOS_SEED)
+        alice, bob, _ = faulty_channel_factory(plan)()
+        alice.send_bytes(b"a-long-enough-payload", tag="blob")
+        with pytest.raises(ChannelIntegrityError, match="checksum"):
+            bob.recv_bytes(expected_tag="blob")
+
+    def test_duplicate_detected_by_sequence(self):
+        plan = FaultPlan([FaultSpec("duplicate", tag="blob")], seed=CHAOS_SEED)
+        alice, bob, _ = faulty_channel_factory(plan)()
+        alice.send_bytes(b"once", tag="blob")
+        assert bob.recv_bytes(expected_tag="blob") == b"once"
+        with pytest.raises(ChannelIntegrityError, match="out-of-sequence"):
+            bob.recv_bytes(expected_tag="blob")
+
+    def test_drop_leaves_channel_empty(self):
+        plan = FaultPlan([FaultSpec("drop", tag="blob")], seed=CHAOS_SEED)
+        alice, bob, _ = faulty_channel_factory(plan)()
+        alice.send_bytes(b"gone", tag="blob")
+        with pytest.raises(ChannelEmptyError):
+            bob.recv_bytes(expected_tag="blob")
+
+    def test_tag_mismatch_rejected(self):
+        alice, bob, _ = make_channel_pair()
+        alice.send_bytes(b"x", tag="actual")
+        with pytest.raises(ChannelIntegrityError, match="tag mismatch"):
+            bob.recv_bytes(expected_tag="expected")
+
+    def test_injected_delay_charges_the_deadline(self):
+        plan = FaultPlan(
+            [FaultSpec("delay", tag="blob", delay_s=10.0)], seed=CHAOS_SEED
+        )
+        alice, bob, _ = faulty_channel_factory(plan)()
+        deadline = Deadline(5.0)
+        alice.deadline = deadline
+        bob.deadline = deadline
+        alice.send_bytes(b"late", tag="blob")
+        with pytest.raises(DeadlineExceeded, match="blob"):
+            bob.recv_bytes(expected_tag="blob")
+
+
+class TestDeadline:
+    def test_virtual_consumption_and_check(self):
+        clock = [0.0]
+        deadline = Deadline(2.0, clock=lambda: clock[0])
+        deadline.check("setup")
+        deadline.consume(1.5, "transit")
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock[0] = 0.6
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="evaluate"):
+            deadline.check("evaluate")
+
+    def test_start_none_is_none(self):
+        assert Deadline.start(None) is None
+        assert isinstance(Deadline.start(1.0), Deadline)
+
+
+# ---------------------------------------------------------------------------
+# fault plan semantics
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_spec_parse_roundtrip(self):
+        spec = FaultSpec.parse("delay:tables:2:30")
+        assert spec == FaultSpec("delay", tag="tables", nth=2, delay_s=30.0)
+        assert FaultSpec.parse(spec.describe()) == spec
+        assert FaultSpec.parse("drop") == FaultSpec("drop")
+
+    def test_spec_validation(self):
+        with pytest.raises(EngineError):
+            FaultSpec("explode")
+        with pytest.raises(EngineError):
+            FaultSpec("delay", delay_s=0.0)
+        with pytest.raises(EngineError):
+            FaultSpec("drop", delay_s=1.0)
+        with pytest.raises(EngineError):
+            FaultSpec.parse("drop:t:notanint")
+
+    def test_nth_counts_matching_messages_only(self):
+        plan = FaultPlan([FaultSpec("drop", tag="b", nth=1)], seed=0)
+        alice, bob, _ = faulty_channel_factory(plan)()
+        alice.send_bytes(b"0", tag="a")  # not matching
+        alice.send_bytes(b"1", tag="b")  # match #0: survives
+        alice.send_bytes(b"2", tag="b")  # match #1: dropped
+        alice.send_bytes(b"3", tag="b")  # match #2: survives
+        assert bob.recv_bytes() == b"0"
+        assert bob.recv_bytes() == b"1"
+        with pytest.raises(ChannelIntegrityError, match="out-of-sequence"):
+            bob.recv_bytes()
+        assert plan.applied == [("drop", "b", 2)]
+
+    def test_corruption_is_seed_deterministic(self):
+        def corrupted(seed):
+            plan = FaultPlan([FaultSpec("corrupt", tag="x")], seed=seed)
+            alice, bob, _ = faulty_channel_factory(plan)()
+            alice.send_bytes(b"deterministic-payload", tag="x")
+            return bob._inbox[0].payload
+
+        assert corrupted(5) == corrupted(5)
+        assert corrupted(5) != corrupted(6)
+
+
+# ---------------------------------------------------------------------------
+# retry policy + circuit breaker units
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_retries_transient_until_success(self):
+        sleeps = []
+        policy = RetryPolicy(
+            max_retries=3, backoff_s=0.1, jitter=0.0, sleep=sleeps.append
+        )
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ChannelIntegrityError("bit flip")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert len(attempts) == 3
+        assert sleeps == pytest.approx([0.1, 0.2])
+
+    def test_permanent_errors_never_retry(self):
+        policy = RetryPolicy(max_retries=5, backoff_s=0.0)
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise EngineError("semantic bug")
+
+        with pytest.raises(EngineError):
+            policy.call(broken)
+        assert len(attempts) == 1
+
+    def test_exhaustion_reraises_last_transient(self):
+        policy = RetryPolicy(max_retries=2, backoff_s=0.0)
+        with pytest.raises(ChannelEmptyError):
+            policy.call(lambda: (_ for _ in ()).throw(
+                ChannelEmptyError("dropped")
+            ))
+
+    def test_jitter_is_seeded(self):
+        a = RetryPolicy(backoff_s=1.0, jitter=0.5, rng=random.Random(9))
+        b = RetryPolicy(backoff_s=1.0, jitter=0.5, rng=random.Random(9))
+        assert [a.backoff_for(i) for i in (1, 2)] == [
+            b.backoff_for(i) for i in (1, 2)
+        ]
+
+    def test_transient_taxonomy(self):
+        assert all(is_transient(e("x")) for e in TRANSIENT_ERRORS)
+        assert fault_category(EngineError("x")) == "permanent"
+        assert fault_category(DeadlineExceeded("x")) == "transient"
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_half_opens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=3, cooldown_s=10.0, clock=lambda: clock[0]
+        )
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        clock[0] = 10.1  # cooldown elapsed: one probe allowed
+        assert breaker.state == "half-open"
+        assert breaker.allow()
+        assert not breaker.allow()  # probe in flight; others degrade
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=1, cooldown_s=5.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        clock[0] = 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.stats()["trips"] == 2
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_s=1.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+# ---------------------------------------------------------------------------
+# pool self-healing + shutdown
+# ---------------------------------------------------------------------------
+
+
+class TestPoolSelfHealing:
+    def test_refill_crash_counted_and_restarted(self, monkeypatch):
+        calls = []
+        real_refill = PregarbledPool._refill_loop
+
+        def flaky(self):
+            calls.append(1)
+            if len(calls) <= 2:
+                raise RuntimeError("poisoned garble")
+            real_refill(self)
+
+        monkeypatch.setattr(PregarbledPool, "_refill_loop", flaky)
+        pool = PregarbledPool(
+            small_circuit(), capacity=2, refill="background",
+            rng=random.Random(0),
+        )
+        try:
+            assert _wait_until(
+                lambda: pool.stats()["refill_crashes"] >= 2 and len(pool) == 2
+            ), pool.stats()
+            stats = pool.stats()
+            assert "poisoned garble" in stats["last_refill_error"]
+            assert stats["leaked_refill_thread"] is False
+        finally:
+            pool.close()
+
+    def test_close_join_timeout_reports_leak(self, monkeypatch):
+        release = threading.Event()
+        monkeypatch.setattr(
+            PregarbledPool, "_refill_loop",
+            lambda self: release.wait(10.0),
+        )
+        pool = PregarbledPool(
+            small_circuit(), capacity=1, refill="background",
+            rng=random.Random(0),
+        )
+        pool.close(timeout=0.1)
+        assert pool.stats()["leaked_refill_thread"] is True
+        release.set()
+        assert _wait_until(lambda: not pool._refill_thread.is_alive())
+        pool.close()  # idempotent; clears the leak flag after the join
+        assert pool.stats()["leaked_refill_thread"] is False
+
+    def test_close_is_idempotent_without_thread(self):
+        pool = PregarbledPool(
+            small_circuit(), capacity=1, refill="none", rng=random.Random(0)
+        )
+        pool.close()
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# service-level wiring: retries, error taxonomy, breaker degradation
+# ---------------------------------------------------------------------------
+
+
+def _trained_service(**config_kwargs):
+    rng = np.random.default_rng(3)
+    x = rng.uniform(-1, 1, size=(200, 5))
+    y = (x @ rng.normal(size=(5, 3))).argmax(axis=1)
+    model = Sequential([Dense(4), Tanh(), Dense(3)], input_shape=(5,), seed=3)
+    Trainer(model, TrainConfig(epochs=10, learning_rate=0.2)).fit(x, y)
+    config = EngineConfig(
+        fmt=FMT,
+        activation="exact",
+        ot_group=TEST_GROUP_512,
+        rng=random.Random(CHAOS_SEED),
+        **config_kwargs,
+    )
+    return PrivateInferenceService(model, config), x
+
+
+class TestServiceResilience:
+    def test_retry_recovers_and_counts(self):
+        plan = FaultPlan(
+            [FaultSpec("corrupt", tag="tables", nth=0)], seed=CHAOS_SEED
+        )
+        service, x = _trained_service(
+            max_retries=2, retry_backoff_s=0.0, fault_plan=plan
+        )
+        try:
+            record = service.infer(x[0])
+            assert record.ok
+            assert record.label == service.cleartext_label(x[0])
+            stats = service.stats
+            assert stats["retries"] == 1
+            assert stats["transient_faults"] == 1
+            assert stats["errors"] == 0
+            assert stats["faults"]["applied"] == 1
+        finally:
+            service.close()
+
+    def test_unretried_transient_fault_is_typed(self):
+        plan = FaultPlan(
+            [FaultSpec("drop", tag="tables", nth=0)], seed=CHAOS_SEED
+        )
+        service, x = _trained_service(fault_plan=plan)
+        try:
+            results = service.infer_many([x[0]], return_errors=True)
+            (result,) = results
+            assert not result.ok and result.label == -1
+            assert result.error_type in (
+                "ChannelEmptyError", "ChannelIntegrityError"
+            )
+            assert result.error_category == "transient"
+            assert result.error_type in result.error
+        finally:
+            service.close()
+
+    def test_permanent_error_category(self):
+        service, _ = _trained_service()
+        try:
+            (result,) = service.infer_many(
+                [np.zeros(99)], return_errors=True  # wrong feature width
+            )
+            assert not result.ok
+            assert result.error_category == "permanent"
+            assert result.error_type == "CompileError"
+            with pytest.raises(CompileError):
+                service.infer(np.zeros(99))
+        finally:
+            service.close()
+
+    def test_breaker_opens_and_serves_degraded(self):
+        # two one-shot faults + no retries trip a threshold-2 breaker;
+        # the third request must still be served (cold, pool bypassed)
+        plan = FaultPlan(
+            [
+                FaultSpec("corrupt", tag="tables", nth=0),
+                FaultSpec("corrupt", tag="tables", nth=1),
+            ],
+            seed=CHAOS_SEED,
+        )
+        service, x = _trained_service(
+            fault_plan=plan,
+            breaker_threshold=2,
+            breaker_cooldown_s=300.0,
+            pool_size=2,
+        )
+        try:
+            service.prepare()
+            for i in range(2):
+                (result,) = service.infer_many(
+                    [x[i]], return_errors=True, batch=False
+                )
+                assert not result.ok
+            stats = service.stats
+            assert stats["breakers"]["two_party"]["state"] == "open"
+            record = service.infer(x[2])
+            assert record.ok
+            assert record.label == service.cleartext_label(x[2])
+            assert not record.pregarbled  # degraded = cold garbling
+            assert service.stats["degraded"] >= 1
+        finally:
+            service.close()
+
+    def test_open_breaker_skips_batched_path(self):
+        service, x = _trained_service(breaker_threshold=1, pool_size=0)
+        try:
+            breaker = service._breaker("two_party")
+            breaker.record_failure()
+            assert breaker.state == "open"
+            results = service.infer_many(list(x[:2]), return_errors=True)
+            assert all(r.ok for r in results)
+            assert [r.label for r in results] == [
+                service.cleartext_label(s) for s in x[:2]
+            ]
+            assert service.stats["degraded"] >= 1
+        finally:
+            service.close()
+
+    def test_deadline_exceeded_is_transient_and_typed(self):
+        plan = FaultPlan(
+            [FaultSpec("delay", tag="tables", nth=0, delay_s=600.0)],
+            seed=CHAOS_SEED,
+        )
+        service, x = _trained_service(
+            fault_plan=plan, request_timeout_s=30.0
+        )
+        try:
+            (result,) = service.infer_many([x[0]], return_errors=True)
+            assert result.error_type == "DeadlineExceeded"
+            assert result.error_category == "transient"
+        finally:
+            service.close()

@@ -1,0 +1,142 @@
+"""Distributed serving benchmarks: shard scaling and transport overhead.
+
+Measures what the PR 9 serving tier costs and buys:
+
+* **shard scaling** — ``ShardedService.infer_many`` across worker
+  *processes* vs the single-process thread-pool path on the same batch
+  (process parallelism sidesteps the GIL; the win tracks host cores);
+* **online latency** — p50/p95 per-request online time under sharded
+  serving;
+* **transport overhead** — the same protocol run over in-memory deques
+  vs the wire codec + kernel socketpairs (socket/memory throughput
+  ratio; expected a little under 1.0 — the codec and kernel round trips
+  are not free).
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.cli import _demo_service
+from repro.transport import ShardedService
+
+from _bench_util import record_trajectory, write_report
+
+#: Batch size for the shard-scaling comparison (the acceptance bar asks
+#: for >= 8 requests).
+BATCH = 8
+
+
+def _shard_factory():
+    service, _ = _demo_service(pool_size=BATCH // 2, seed=11)
+    return service
+
+
+@pytest.fixture(scope="module")
+def service_and_data():
+    return _demo_service(pool_size=BATCH, history_limit=64, seed=11)
+
+
+def test_shard_scaling_throughput(service_and_data, results_dir):
+    """2 worker shards vs single-process serving on one batch."""
+    service, x = service_and_data
+    requests = list(x[:BATCH])
+
+    service.prepare()
+    start = time.perf_counter()
+    single = service.infer_many(requests, max_workers=2)
+    single_wall = time.perf_counter() - start
+    single_rps = len(single) / single_wall
+
+    sharded = ShardedService(_shard_factory, shards=2, prepare=BATCH // 2)
+    try:
+        start = time.perf_counter()
+        results = sharded.infer_many(requests, max_workers=2)
+        sharded_wall = time.perf_counter() - start
+        stats = sharded.stats()
+    finally:
+        sharded.close()
+    sharded_rps = len(results) / sharded_wall
+
+    assert [r.label for r in results] == [r.label for r in single]
+    assert stats["degraded_requests"] == 0
+
+    online = sorted(r.wall_seconds for r in results)
+    p50 = statistics.median(online)
+    p95 = online[min(len(online) - 1, int(round(0.95 * (len(online) - 1))))]
+
+    speedup = sharded_rps / single_rps
+    text = (
+        f"single-process: {len(single)} requests in {single_wall:.2f} s "
+        f"({single_rps:.2f} req/s)\n"
+        f"2-shard fleet:  {len(results)} requests in {sharded_wall:.2f} s "
+        f"({sharded_rps:.2f} req/s)\n"
+        f"shard speedup: {speedup:.2f}x | online p50 {p50:.3f} s, "
+        f"p95 {p95:.3f} s"
+    )
+    write_report(results_dir, "distributed_shard_scaling", text)
+    record_trajectory(
+        "pr9-shard-scaling",
+        {
+            "pr": 9,
+            "batch": BATCH,
+            "shards": 2,
+            "single_process_rps": round(single_rps, 4),
+            "sharded_rps": round(sharded_rps, 4),
+            "shard_speedup": round(speedup, 3),
+            "online_p50_s": round(p50, 6),
+            "online_p95_s": round(p95, 6),
+        },
+    )
+
+
+def test_socket_transport_overhead(service_and_data, results_dir):
+    """Wire codec + kernel socketpair vs in-memory deques, same protocol."""
+    import random
+
+    from repro.gc import TwoPartySession
+    from repro.gc.ot import TEST_GROUP_512
+    from repro.transport import socketpair_channel_factory
+
+    service, x = service_and_data
+    circuit = service.compiled.circuit
+    alice_bits = service.compiled.client_bits(x[0])
+    bob_bits = service._server_bits
+
+    def run(channel_factory):
+        session = TwoPartySession(
+            circuit, ot_group=TEST_GROUP_512, rng=random.Random(5),
+            channel_factory=channel_factory,
+        )
+        start = time.perf_counter()
+        result = session.run(alice_bits, bob_bits)
+        return result, time.perf_counter() - start
+
+    # one warmup each, then the measured pass
+    run(None)
+    memory_result, memory_s = run(None)
+    run(socketpair_channel_factory())
+    socket_result, socket_s = run(socketpair_channel_factory())
+
+    assert socket_result.outputs == memory_result.outputs
+    assert socket_result.comm == memory_result.comm
+
+    ratio = memory_s / socket_s  # socket throughput relative to memory
+    text = (
+        f"memory transport: {memory_s:.3f} s/run\n"
+        f"socket transport: {socket_s:.3f} s/run\n"
+        f"socket/memory throughput: {ratio:.2f}x "
+        f"(same outputs, same {sum(memory_result.comm.values())} comm bytes)"
+    )
+    write_report(results_dir, "distributed_transport_overhead", text)
+    record_trajectory(
+        "pr9-socket-transport",
+        {
+            "pr": 9,
+            "memory_run_s": round(memory_s, 6),
+            "socket_run_s": round(socket_s, 6),
+            "socket_transport_speedup": round(ratio, 3),
+            "comm_bytes": sum(memory_result.comm.values()),
+        },
+    )

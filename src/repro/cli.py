@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli demo              # one live private inference
     python -m repro.cli infer -b folded   # one inference, any backend
     python -m repro.cli serve -n 6        # concurrent pre-garbled serving
+    python -m repro.cli serve --shards 2  # process-sharded serving
+    python -m repro.cli worker --port 0   # host the evaluator on a socket
 
 Each reporting subcommand prints the same table the corresponding
 benchmark module writes to ``benchmarks/results/``; ``infer`` and
@@ -129,7 +131,8 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
                   vectorized: bool = True, kdf_workers: int = 1,
                   kdf_backend: str = "auto", pool_low_watermark=None,
                   request_timeout_s=None, max_retries: int = 0,
-                  fault_specs=None, fault_seed: int = 0):
+                  fault_specs=None, fault_seed: int = 0,
+                  transport: Optional[str] = None):
     """A small trained service for the live subcommands (fast OT group)."""
     import random
 
@@ -151,7 +154,7 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
     fault_plan = (
         FaultPlan.parse(fault_specs, seed=fault_seed) if fault_specs else None
     )
-    config = EngineConfig(
+    config_kwargs = dict(
         fmt=FixedPointFormat(2, 6),
         activation=activation,
         backend=backend,
@@ -168,6 +171,9 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
         max_retries=max_retries,
         fault_plan=fault_plan,
     )
+    if transport is not None:
+        config_kwargs["transport"] = transport
+    config = EngineConfig(**config_kwargs)
     return PrivateInferenceService(model, config), x
 
 
@@ -183,7 +189,11 @@ def _cmd_demo(args) -> None:
 def _cmd_infer(args) -> None:
     if not 0 <= args.samples <= _DEMO_SAMPLES:
         raise SystemExit(f"infer: --samples must be in 0..{_DEMO_SAMPLES}")
-    service, x = _demo_service(backend=args.backend, activation=args.activation)
+    if args.connect is not None:
+        _infer_remote(args)
+        return
+    service, x = _demo_service(backend=args.backend, activation=args.activation,
+                               transport=args.transport)
     print(service.circuit_summary)
     for index in range(args.samples):
         record = service.infer(x[index])
@@ -193,6 +203,156 @@ def _cmd_infer(args) -> None:
         print(f"[{args.backend}] sample {index}: label {record.label} "
               f"(cleartext {service.cleartext_label(x[index])}) | "
               f"comm {record.comm_bytes / 1e6:.2f} MB | {phases}")
+
+
+def _infer_remote(args) -> None:
+    """Serve samples against a ``cli worker`` process: the front-end runs
+    the garbler side of each split session, the worker the evaluator."""
+    import random
+    import socket
+
+    from .transport import run_folded_peer, run_two_party_peer
+    from .transport.worker import recv_ctl, send_ctl
+
+    flows = {"two_party": run_two_party_peer, "folded": run_folded_peer}
+    runner = flows.get(args.backend)
+    if runner is None:
+        raise SystemExit(
+            f"infer: --connect supports backends {', '.join(flows)}"
+        )
+    if args.transport != "socket":
+        raise SystemExit("infer: --connect requires --transport socket")
+    host, _, port = args.connect.rpartition(":")
+    service, x = _demo_service(backend="two_party",
+                               activation=args.activation)
+    print(service.circuit_summary)
+    sock = socket.create_connection((host or "127.0.0.1", int(port)))
+    agreements = 0
+    try:
+        for index in range(args.samples):
+            seed = 1000 + index
+            client_bits = service.compiled.client_bits(x[index])
+            server_bits = service._server_bits
+            send_ctl(sock, {
+                "op": "peer", "flow": args.backend, "seed": seed,
+                "alice_bits": client_bits, "bob_bits": server_bits,
+            })
+            ack = recv_ctl(sock, timeout=60.0)
+            if not ack.get("ok"):
+                raise SystemExit(f"infer: worker rejected session: {ack}")
+            result = runner(
+                sock, "garbler", service.compiled.circuit,
+                client_bits, server_bits,
+                kdf=service.config.kdf, ot_group=service.config.ot_group,
+                rng=random.Random(seed), vectorized=service.config.vectorized,
+            )
+            outputs = (result.final_outputs if args.backend == "folded"
+                       else result.outputs)
+            remote = recv_ctl(sock, timeout=60.0)
+            label = service.compiled.decode_output(list(outputs))
+            comm = sum(result.comm.values())
+            agree = (remote.get("outputs") == list(outputs)
+                     and remote.get("comm_bytes") == comm)
+            agreements += agree
+            print(f"[{args.backend}/socket] sample {index}: label {label} "
+                  f"(cleartext {service.cleartext_label(x[index])}, "
+                  f"remote label {remote.get('label')}) | "
+                  f"comm {comm / 1e6:.2f} MB | cross-process agreement: "
+                  f"{'OK' if agree else 'MISMATCH'}")
+        send_ctl(sock, {"op": "shutdown"})
+        bye = recv_ctl(sock, timeout=60.0)
+        print(f"worker shutdown: {'OK' if bye.get('ok') else 'FAILED'} | "
+              f"sessions agreed {agreements}/{args.samples}")
+    finally:
+        sock.close()
+    if agreements != args.samples:
+        raise SystemExit("infer: cross-process output mismatch")
+
+
+def _cmd_worker(args) -> None:
+    """Host the evaluator side of the protocol on a TCP socket."""
+    from .transport.worker import WorkerServer
+
+    service, _ = _demo_service(backend="two_party",
+                               activation=args.activation,
+                               pool_size=args.pool)
+    if args.pool:
+        service.prepare()
+    server = WorkerServer(service, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"worker: listening on {host}:{port}", flush=True)
+    if args.port_file:
+        server.write_port_file(args.port_file)
+    try:
+        server.serve_forever(once=args.once)
+    finally:
+        service.close()
+    ops = ", ".join(
+        f"{op}={count}" for op, count in sorted(server.counters.items())
+    ) or "none"
+    print(f"worker: served {server.connections} connections ({ops}) | "
+          "clean shutdown")
+
+
+def _serve_sharded(args) -> None:
+    """``serve --shards N``: the multi-process sharded front-end."""
+    import time
+
+    from .transport import ShardedService
+
+    pool_size = args.pool if args.pool is not None else args.requests
+    per_shard_pool = -(-pool_size // args.shards) if pool_size else 0
+
+    def factory():
+        service, _ = _demo_service(
+            pool_size=per_shard_pool, pool_refill=args.refill,
+            vectorized=not args.scalar, kdf_workers=args.kdf_workers,
+            kdf_backend=args.kdf_backend,
+            request_timeout_s=args.request_timeout,
+            max_retries=args.max_retries,
+        )
+        return service
+
+    reference, x = _demo_service()
+    print(reference.circuit_summary)
+    sharded = ShardedService(factory, shards=args.shards,
+                             prepare=per_shard_pool)
+    print(f"offline phase: {args.shards} worker processes up, "
+          f"{per_shard_pool} circuits pre-garbled per shard")
+    try:
+        start = time.perf_counter()
+        results = sharded.infer_many(
+            list(x[: args.requests]), max_workers=args.workers
+        )
+        wall = time.perf_counter() - start
+        expected = [reference.cleartext_label(s) for s in x[: args.requests]]
+        stats = sharded.stats()
+        shard_requests = [s["requests"] for s in stats["per_shard"]]
+        print(f"served {len(results)} requests across {args.shards} shards "
+              f"in {wall:.2f} s ({len(results) / wall:.2f} req/s)")
+        print(f"shards: requests per shard {shard_requests} | live "
+              f"{stats['live_shards']}/{stats['shards']} | degraded "
+              f"{stats['degraded_requests']} | reroutes {stats['reroutes']}")
+        retries = sum(
+            s.get("service", {}).get("retries", 0)
+            for s in stats["per_shard"]
+        )
+        faults = sum(
+            s.get("service", {}).get("transient_faults", 0)
+            for s in stats["per_shard"]
+        )
+        print(f"resilience: retries {retries} | transient faults {faults} | "
+              f"degraded {stats['degraded_requests']}")
+        ok = [r for r in results if r.ok]
+        agree = all(
+            r.label == expected[i] for i, r in enumerate(results) if r.ok
+        )
+        print(f"labels: {[r.label for r in results]} | "
+              f"failed {len(results) - len(ok)}/{len(results)} | "
+              f"cleartext agreement: {'OK' if agree else 'MISMATCH'}")
+    finally:
+        sharded.close()
+        reference.close()
 
 
 def _cmd_serve(args) -> None:
@@ -207,6 +367,15 @@ def _cmd_serve(args) -> None:
     if args.requests > _DEMO_SAMPLES:
         raise SystemExit(f"serve: --requests must be <= {_DEMO_SAMPLES} "
                          "(demo dataset size)")
+    if args.shards < 0:
+        raise SystemExit("serve: --shards must be >= 0")
+    if args.shards:
+        if args.fault:
+            raise SystemExit("serve: --fault applies to single-process "
+                             "serving (fault injection rides the shard "
+                             "services' own configs)")
+        _serve_sharded(args)
+        return
     pool_size = args.pool if args.pool is not None else args.requests
     service, x = _demo_service(
         pool_size=pool_size, history_limit=args.requests,
@@ -216,6 +385,7 @@ def _cmd_serve(args) -> None:
         request_timeout_s=args.request_timeout,
         max_retries=args.max_retries,
         fault_specs=args.fault, fault_seed=args.fault_seed,
+        transport=args.transport,
     )
     pool = service.pool
     print(service.circuit_summary)
@@ -326,7 +496,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Table 3 activation realization")
     infer.add_argument("-n", "--samples", type=int, default=1,
                        help="number of samples to serve")
+    infer.add_argument("--transport", default=None,
+                       choices=("memory", "socket"),
+                       help="frame transport: in-process deques or the "
+                            "wire codec over kernel sockets (default: "
+                            "REPRO_TRANSPORT env, else memory)")
+    infer.add_argument("--connect", default=None, metavar="HOST:PORT",
+                       help="run each inference as a split session "
+                            "against a `worker` process (garbler here, "
+                            "evaluator there); requires --transport "
+                            "socket and backend two_party or folded")
     infer.set_defaults(func=_cmd_infer)
+
+    worker = sub.add_parser(
+        "worker", help="host the evaluator side of the protocol on TCP"
+    )
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback)")
+    worker.add_argument("--port", type=int, default=0,
+                        help="bind port (0 picks a free port; see "
+                             "--port-file)")
+    worker.add_argument("--port-file", default=None, metavar="PATH",
+                        help="write `host port` here once listening "
+                             "(front-end discovery for scripted runs)")
+    worker.add_argument("--once", action="store_true",
+                        help="exit after the first connection ends")
+    worker.add_argument("--pool", type=int, default=0,
+                        help="pre-garble this many circuit copies before "
+                             "serving (default: 0)")
+    worker.add_argument("--activation", default="exact",
+                        choices=ACTIVATION_VARIANTS,
+                        help="Table 3 activation realization")
+    worker.set_defaults(func=_cmd_worker)
 
     serve = sub.add_parser(
         "serve", help="concurrent serving with a pre-garbled pool"
@@ -379,6 +580,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "delay:ot:2:30; repeatable")
     serve.add_argument("--fault-seed", type=int, default=0,
                        help="seed for fault byte positions / cut points")
+    serve.add_argument("--transport", default=None,
+                       choices=("memory", "socket"),
+                       help="frame transport for the protocol channels "
+                            "(default: REPRO_TRANSPORT env, else memory)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="partition the batch across this many worker "
+                            "processes, each with its own pre-garbled "
+                            "pool shard (0 = single process)")
     serve.set_defaults(func=_cmd_serve)
     return parser
 

@@ -31,7 +31,7 @@ from ..gc.cutandchoose import CutAndChooseGarbler, verify_opened_copy
 from ..gc.evaluate import Evaluator
 from ..gc.fastgarble import FastEvaluator
 from ..gc.ot import MODP_2048, OTGroup
-from ..gc.channel import make_channel_pair
+from ..gc.channel import default_channel_factory
 from ..gc.outsourcing import OutsourcedSession
 from ..gc.protocol import ChannelFactory, TwoPartySession, transfer_input_labels
 from ..gc.rng import RngLike
@@ -464,7 +464,7 @@ class CutAndChooseBackend(Backend):
         # deadlines reach this flow too
         start = time.perf_counter()
         garbler = cnc.evaluation_garbler(surviving)
-        factory = self.channel_factory or make_channel_pair
+        factory = self.channel_factory or default_channel_factory()
         alice_end, bob_end, _stats = factory()
         alice_end.deadline = deadline
         bob_end.deadline = deadline

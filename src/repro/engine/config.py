@@ -95,6 +95,18 @@ class EngineConfig:
         fault_plan: optional :class:`repro.resilience.FaultPlan` — the
             chaos harness; injected into every channel the backends
             build.  Testing/ops only: never set in production serving.
+        transport: how protocol frames move between the parties —
+            ``"memory"`` (in-process deques, the default) or
+            ``"socket"`` (every frame round-trips through the
+            :mod:`repro.transport.wire` codec and a kernel socketpair;
+            bit-exact with memory, exercises the real wire path).
+            Defaults from the ``REPRO_TRANSPORT`` environment variable,
+            so whole suites switch transports without code changes.
+        shards: worker-process count for
+            :class:`repro.transport.ShardedService` front-ends (0 =
+            single-process serving; the service object itself ignores
+            this — it is a front-end/CLI knob carried with the rest of
+            the serving configuration).
     """
 
     fmt: FixedPointFormat = DEFAULT_FORMAT
@@ -119,6 +131,10 @@ class EngineConfig:
     breaker_threshold: int = 5
     breaker_cooldown_s: float = 30.0
     fault_plan: Optional[FaultPlan] = None
+    transport: str = dataclasses.field(
+        default_factory=lambda: os.environ.get("REPRO_TRANSPORT", "memory")
+    )
+    shards: int = 0
 
     def __post_init__(self) -> None:
         from .backends import available_backends
@@ -174,6 +190,13 @@ class EngineConfig:
             raise EngineError(
                 "fault_plan must be a repro.resilience.FaultPlan (or None)"
             )
+        if self.transport not in ("memory", "socket"):
+            raise EngineError(
+                f"unknown transport {self.transport!r}; choose from "
+                "memory, socket"
+            )
+        if self.shards < 0:
+            raise EngineError("shards must be >= 0 (0 = single process)")
 
     def effective_kdf(self) -> Optional[HashKDF]:
         """The garbling oracle with ``kdf_backend``/``kdf_workers`` applied.

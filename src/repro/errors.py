@@ -48,6 +48,17 @@ class ChannelIntegrityError(ProtocolError):
     """
 
 
+class ChannelClosedError(ProtocolError):
+    """Raised on ``recv`` from a channel whose peer has gone away.
+
+    The socket transport maps EOF / connection-reset to this error; the
+    in-memory channel raises it once an endpoint is :meth:`closed
+    <repro.gc.channel.Channel.close>` and the inbox is drained.  Frames
+    already in flight stay deliverable (TCP semantics).  Transient under
+    retry: a fresh attempt reconnects or reroutes.
+    """
+
+
 class DeadlineExceeded(ReproError):
     """Raised when a request's time budget expires mid-protocol.
 

@@ -5,7 +5,7 @@ backends, Naor-Pinkas-style base OT, IKNP OT extension, sequential
 garbling and XOR-sharing outsourcing.
 """
 
-from .channel import Channel, ChannelStats, make_channel_pair
+from .channel import Channel, ChannelStats, default_channel_factory, make_channel_pair
 from .cipher import (
     KDF_BACKENDS,
     LABEL_BITS,
@@ -75,6 +75,7 @@ __all__ = [
     "extension_ot",
     "Channel",
     "ChannelStats",
+    "default_channel_factory",
     "make_channel_pair",
     "TwoPartySession",
     "ProtocolResult",

@@ -22,16 +22,23 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+import os
 import struct
 import zlib
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
-from ..errors import ChannelEmptyError, ChannelIntegrityError
+from ..errors import ChannelClosedError, ChannelEmptyError, ChannelIntegrityError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..resilience.deadline import Deadline
 
-__all__ = ["Channel", "ChannelStats", "Frame", "make_channel_pair"]
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "Frame",
+    "default_channel_factory",
+    "make_channel_pair",
+]
 
 
 @dataclasses.dataclass
@@ -86,8 +93,26 @@ class ChannelStats:
         return agg
 
 
+class _LinkState:
+    """Mutable state shared by both endpoints of one duplex link."""
+
+    __slots__ = ("closed",)
+
+    def __init__(self) -> None:
+        self.closed = False
+
+
 class Channel:
-    """One endpoint of an in-memory duplex link."""
+    """One endpoint of an in-memory duplex link.
+
+    Also the base class of every other transport: the framing, the
+    validation and the typed helpers live here, while subclasses swap
+    the two seams — :meth:`_dispatch` (put one frame on the wire) and
+    :meth:`_fetch` (take the next frame off it).  The socket transport
+    (:mod:`repro.transport`) and the fault injector
+    (:class:`repro.resilience.FaultyChannel`) both plug in there, so
+    ``recv`` semantics are identical across transports.
+    """
 
     def __init__(
         self,
@@ -102,8 +127,19 @@ class Channel:
         self._direction = direction
         self._sent = 0
         self._received = 0
+        self._link = _LinkState()
         #: optional per-request time budget, charged on every recv
         self.deadline: Optional["Deadline"] = None
+
+    def close(self) -> None:
+        """Close the link: the peer's drained ``recv`` turns typed.
+
+        Frames already in flight stay deliverable (TCP semantics); once
+        the inbox is drained, further receives raise
+        :class:`repro.errors.ChannelClosedError` — a *transient* error,
+        so retry/breaker handling matches a socket peer going away.
+        """
+        self._link.closed = True
 
     # -- raw bytes ---------------------------------------------------------
 
@@ -129,6 +165,37 @@ class Channel:
         self._outbox.append(frame)
         self._stats.record(self._direction, frame.tag, len(frame.payload) + 4)
 
+    def _fetch(self, index: int, expected_tag: Optional[str]) -> Frame:
+        """Take the next inbound frame off the wire.
+
+        The receive-side transport seam: the in-memory link pops its
+        deque, the socket transport reads and decodes from its socket.
+        ``index``/``expected_tag`` only flavor the error messages —
+        validation stays in :meth:`recv_bytes`.
+
+        Raises:
+            ChannelEmptyError: no message is pending (protocol-order bug
+                or a dropped message).
+            ChannelClosedError: the peer closed the link and the inbox
+                is drained.
+        """
+        if not self._inbox:
+            expectation = (
+                f" tagged {expected_tag!r}" if expected_tag is not None else ""
+            )
+            if self._link.closed:
+                raise ChannelClosedError(
+                    f"recv on closed channel: {self._direction!r} endpoint "
+                    f"waiting for message #{index}{expectation} "
+                    "(peer closed the link)"
+                )
+            raise ChannelEmptyError(
+                f"recv on empty channel: {self._direction!r} endpoint "
+                f"waiting for message #{index}{expectation} "
+                "(protocol order bug or dropped message)"
+            )
+        return self._inbox.popleft()
+
     def recv_bytes(self, expected_tag: Optional[str] = None) -> bytes:
         """Receive and validate the next byte string.
 
@@ -141,22 +208,16 @@ class Channel:
         Raises:
             ChannelEmptyError: no message is pending (protocol-order bug
                 or a dropped message).
+            ChannelClosedError: the peer closed the link (EOF) — a
+                transient error, so retries and breakers treat a dead
+                peer like any other wire fault.
             ChannelIntegrityError: checksum, sequence or tag validation
                 failed.
             DeadlineExceeded: the endpoint's deadline expired (injected
                 transit delays are charged before the check).
         """
         index = self._received
-        if not self._inbox:
-            expectation = (
-                f" tagged {expected_tag!r}" if expected_tag is not None else ""
-            )
-            raise ChannelEmptyError(
-                f"recv on empty channel: {self._direction!r} endpoint "
-                f"waiting for message #{index}{expectation} "
-                "(protocol order bug or dropped message)"
-            )
-        frame = self._inbox.popleft()
+        frame = self._fetch(index, expected_tag)
         if self.deadline is not None:
             context = f"recv #{index} tagged {frame.tag!r}"
             if frame.delay_s > 0.0:
@@ -270,6 +331,33 @@ def make_channel_pair(
     stats = ChannelStats()
     alice = Channel(outbox=a_to_b, inbox=b_to_a, stats=stats, direction="a2b")
     bob = Channel(outbox=b_to_a, inbox=a_to_b, stats=stats, direction="b2a")
+    # one link state for the pair: close() on either end is visible to
+    # the other end's drained recv
+    bob._link = alice._link
     alice.deadline = deadline
     bob.deadline = deadline
     return alice, bob, stats
+
+
+def default_channel_factory() -> Callable[
+    [], Tuple[Channel, Channel, ChannelStats]
+]:
+    """The channel-pair factory selected by ``REPRO_TRANSPORT``.
+
+    ``memory`` (default) returns :func:`make_channel_pair`;
+    ``socket`` returns the loopback socketpair factory from
+    :mod:`repro.transport`, so the same protocol code runs over real
+    kernel sockets and the wire codec — the CI chaos matrix sets this
+    to prove the fault taxonomy on the wire, not just in memory.
+    """
+    transport = os.environ.get("REPRO_TRANSPORT", "memory")
+    if transport == "socket":
+        # imported lazily: repro.transport builds on this module
+        from ..transport import socketpair_channel_factory
+
+        return socketpair_channel_factory()
+    if transport != "memory":
+        raise ValueError(
+            f"unknown REPRO_TRANSPORT {transport!r}; use 'memory' or 'socket'"
+        )
+    return make_channel_pair

@@ -29,7 +29,7 @@ import numpy as np
 
 from ..circuits.netlist import Circuit
 from ..errors import ChannelIntegrityError, ProtocolError
-from .channel import Channel, ChannelStats, make_channel_pair
+from .channel import Channel, ChannelStats, default_channel_factory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..resilience.deadline import Deadline
@@ -171,7 +171,8 @@ class TwoPartySession:
         self.rng = rng
         self.vectorized = bool(vectorized)
         self.channel_factory: ChannelFactory = (
-            channel_factory if channel_factory is not None else make_channel_pair
+            channel_factory if channel_factory is not None
+            else default_channel_factory()
         )
 
     def _open_channel(

@@ -34,7 +34,7 @@ import numpy as np
 
 from ..circuits.sequential import SequentialCircuit
 from ..errors import GarblingError, ProtocolError
-from .channel import Channel, ChannelStats, make_channel_pair
+from .channel import Channel, ChannelStats, default_channel_factory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..resilience.deadline import Deadline
@@ -112,7 +112,8 @@ class SequentialSession:
         self.vectorized = bool(vectorized)
         self.pipelined = bool(pipelined)
         self.channel_factory: "ChannelFactory" = (
-            channel_factory if channel_factory is not None else make_channel_pair
+            channel_factory if channel_factory is not None
+            else default_channel_factory()
         )
 
     def run(

@@ -23,10 +23,10 @@ from __future__ import annotations
 import dataclasses
 import random
 import threading
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import EngineError
-from ..gc.channel import Channel, ChannelStats, Frame, make_channel_pair
+from ..gc.channel import Channel, ChannelStats, Frame, default_channel_factory
 
 __all__ = [
     "FAULT_KINDS",
@@ -204,11 +204,12 @@ class FaultPlan:
 class FaultyChannel(Channel):
     """A channel endpoint that applies a :class:`FaultPlan` on send.
 
-    Wraps any existing :class:`Channel` (sharing its queues, byte
-    accounting and direction) and intercepts the single frame-dispatch
-    point, so all typed send helpers (labels, ints, bits) inherit fault
-    coverage.  Receiving is untouched — validation stays the real
-    channel's job, which is exactly what the harness probes.
+    Wraps any existing :class:`Channel` — in-memory *or* socket — by
+    delegating the two transport seams (:meth:`Channel._dispatch` and
+    :meth:`Channel._fetch`) to the wrapped endpoint, so all typed send
+    helpers (labels, ints, bits) inherit fault coverage on every
+    transport.  Receive validation stays this wrapper's (inherited) job,
+    which is exactly what the harness probes.
     """
 
     def __init__(self, inner: Channel, plan: FaultPlan) -> None:
@@ -218,26 +219,47 @@ class FaultyChannel(Channel):
             stats=inner._stats,
             direction=inner._direction,
         )
+        self._inner = inner
+        self._link = inner._link
         self.deadline = inner.deadline
         self.plan = plan
 
     def _dispatch(self, frame: Frame) -> None:
+        self._inner.deadline = self.deadline
         for mutated in self.plan.apply(frame):
-            super()._dispatch(mutated)
+            self._inner._dispatch(mutated)
+
+    def _fetch(self, index: int, expected_tag: Optional[str]) -> Frame:
+        # sessions arm deadlines on the wrapper; the socket transport
+        # reads its own endpoint's deadline for recv timeouts — sync it
+        # across the delegation boundary before blocking
+        self._inner.deadline = self.deadline
+        return self._inner._fetch(index, expected_tag)
+
+    def close(self) -> None:
+        self._inner.close()
 
 
 def faulty_channel_factory(
     plan: FaultPlan,
+    inner: Optional[Callable[[], Tuple[Channel, Channel, ChannelStats]]] = None,
 ) -> Callable[[], Tuple[Channel, Channel, ChannelStats]]:
     """A ``make_channel_pair``-compatible factory injecting ``plan``.
 
     Both endpoints share the plan (its counters span directions and
     survive retries), which is what makes Nth-message faults fire once
     per plan rather than once per attempt.
+
+    Args:
+        inner: the healthy factory to wrap; ``None`` resolves through
+            :func:`repro.gc.channel.default_channel_factory`, so
+            ``REPRO_TRANSPORT=socket`` pushes the whole chaos matrix
+            through the wire codec and kernel socketpairs.
     """
 
     def factory() -> Tuple[Channel, Channel, ChannelStats]:
-        alice, bob, stats = make_channel_pair()
+        base = inner if inner is not None else default_channel_factory()
+        alice, bob, stats = base()
         return FaultyChannel(alice, plan), FaultyChannel(bob, plan), stats
 
     return factory

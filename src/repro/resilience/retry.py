@@ -17,6 +17,7 @@ import time
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from ..errors import (
+    ChannelClosedError,
     ChannelEmptyError,
     ChannelIntegrityError,
     DeadlineExceeded,
@@ -35,6 +36,7 @@ T = TypeVar("T")
 #: Error classes a fresh attempt can plausibly clear.  Everything else
 #: (semantic/protocol errors) is permanent and must not be retried.
 TRANSIENT_ERRORS: Tuple[Type[BaseException], ...] = (
+    ChannelClosedError,
     ChannelEmptyError,
     ChannelIntegrityError,
     DeadlineExceeded,

@@ -37,6 +37,7 @@ from .compile.costmodel import CostBreakdown, GCCostModel
 from .engine import Backend, EngineConfig, PregarbledPool, get_backend
 from .engine.result import ExecutionResult
 from .errors import BatchInferenceError, CompileError
+from .gc.channel import make_channel_pair
 from .gc.cipher import HashKDF, default_kdf
 from .gc.ot import OTGroup
 from .nn.model import Sequential
@@ -187,16 +188,29 @@ class PrivateInferenceService:
         )
         self._backends: Dict[str, Backend] = {}
         self._lock = threading.Lock()
-        # resilience wiring: the channel factory injects the configured
-        # fault plan into every channel the backends build; the retry
-        # policy re-attempts transient wire faults; one breaker per
-        # backend name gates degraded serving.  Jitter rng is seeded so
-        # chaos runs are reproducible end to end.
-        self._channel_factory = (
-            faulty_channel_factory(config.fault_plan)
-            if config.fault_plan is not None
-            else None
-        )
+        # transport + resilience wiring: the channel factory decides how
+        # frames move (in-memory deques or the wire codec over kernel
+        # socketpairs) and injects the configured fault plan into every
+        # channel the backends build; the retry policy re-attempts
+        # transient wire faults; one breaker per backend name gates
+        # degraded serving.  Jitter rng is seeded so chaos runs are
+        # reproducible end to end.
+        if config.transport == "socket":
+            # deferred import: repro.transport pulls in this module
+            from .transport.socket_channel import socketpair_channel_factory
+
+            base_factory = socketpair_channel_factory()
+        else:
+            # explicit rather than None: the config's transport choice is
+            # authoritative for this service even if REPRO_TRANSPORT
+            # changes between construction and the first request
+            base_factory = make_channel_pair
+        if config.fault_plan is not None:
+            self._channel_factory = faulty_channel_factory(
+                config.fault_plan, inner=base_factory
+            )
+        else:
+            self._channel_factory = base_factory
         self._retry = RetryPolicy(
             max_retries=config.max_retries,
             backoff_s=config.retry_backoff_s,

@@ -1,0 +1,395 @@
+"""Process-sharded serving front-end over the worker control protocol.
+
+:class:`ShardedService` partitions ``infer_many`` batches across N
+worker *processes*, each hosting a full
+:class:`repro.service.PrivateInferenceService` of its own — compiled
+circuit, pre-garbled pool shard, retry policy, breakers — built by the
+same ``service_factory`` in every child.  The front-end speaks the
+:mod:`repro.transport.worker` control protocol over one socketpair per
+worker.
+
+Failure semantics compose with the PR 8 resilience tier:
+
+- every shard RPC failure (worker crash, EOF, malformed reply) feeds a
+  per-shard :class:`repro.resilience.CircuitBreaker`;
+- the failed chunk immediately reroutes to a lazily built *in-process*
+  fallback service (same factory), so the batch still completes —
+  degraded, counted, never dropped;
+- while a shard's breaker is open, its chunks go straight to the
+  fallback until the cooldown's half-open probe finds the worker again.
+
+``stats()`` rolls the shard services' counters up next to the
+front-end's own routing counters, so one snapshot answers both "what
+did the fleet serve" and "how degraded are we".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import EngineError, ProtocolError
+from ..resilience.breaker import CircuitBreaker
+from .worker import recv_ctl, send_ctl, serve_connection
+
+__all__ = ["ShardedService"]
+
+#: Cap on one shard RPC round trip (seconds): generous for a cold
+#: worker garbling its first circuit, finite so a hung worker degrades
+#: instead of hanging the batch.
+DEFAULT_RPC_TIMEOUT_S = 120.0
+
+
+def _shard_main(
+    conn: socket.socket, service_factory: Callable[[], Any]
+) -> None:  # pragma: no cover - runs in the forked child
+    """Worker-process entry: build the shard's service, serve its socket."""
+    service = None
+    try:
+        service = service_factory()
+        serve_connection(conn, service)
+    finally:
+        if service is not None:
+            try:
+                service.close()
+            except Exception:
+                pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _Shard:
+    """One worker process plus the front-end's view of it."""
+
+    def __init__(
+        self,
+        index: int,
+        sock: socket.socket,
+        process: multiprocessing.process.BaseProcess,
+        breaker: CircuitBreaker,
+    ) -> None:
+        self.index = index
+        self.sock = sock
+        self.process = process
+        self.breaker = breaker
+        self.requests = 0
+        self.failures = 0
+        #: serializes RPCs on this shard's socket (the control protocol
+        #: is turn-based; concurrent batches must not interleave frames)
+        self.lock = threading.Lock()
+        self.alive = True
+
+    def call(
+        self, record: Dict[str, Any], timeout: float
+    ) -> Dict[str, Any]:
+        """One control round trip; typed errors on a dead/hung worker."""
+        with self.lock:
+            send_ctl(self.sock, record)
+            reply = recv_ctl(self.sock, timeout=timeout)
+        if not reply.get("ok", False):
+            raise ProtocolError(
+                f"shard {self.index} rejected {record.get('op')!r}: "
+                f"{reply.get('error', 'unknown error')}"
+            )
+        return reply
+
+
+class ShardedService:
+    """A multi-process front-end for batch private-inference serving.
+
+    Args:
+        service_factory: zero-argument callable building one
+            :class:`~repro.service.PrivateInferenceService`; invoked once
+            per worker process (each worker owns its own pool shard) and
+            at most once in-process for the degraded fallback.  Must be
+            importable/fork-safe.
+        shards: worker process count (>= 1).
+        prepare: pre-garbled copies each worker warms before serving
+            (0 skips the offline phase).
+        breaker_threshold / breaker_cooldown_s: per-shard breaker knobs.
+        rpc_timeout_s: cap on one shard RPC round trip.
+    """
+
+    def __init__(
+        self,
+        service_factory: Callable[[], Any],
+        shards: int = 2,
+        prepare: int = 0,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 30.0,
+        rpc_timeout_s: float = DEFAULT_RPC_TIMEOUT_S,
+    ) -> None:
+        if shards < 1:
+            raise EngineError("ShardedService needs shards >= 1")
+        self._factory = service_factory
+        self._rpc_timeout_s = rpc_timeout_s
+        self._lock = threading.Lock()
+        self._fallback: Optional[Any] = None
+        self._stats: Dict[str, int] = {
+            "requests": 0,
+            "degraded_requests": 0,
+            "reroutes": 0,
+        }
+        context = multiprocessing.get_context("fork")
+        self._shards: List[_Shard] = []
+        for index in range(shards):
+            parent_sock, child_sock = socket.socketpair()
+            process = context.Process(
+                target=_shard_main,
+                args=(child_sock, service_factory),
+                daemon=True,
+                name=f"repro-shard-{index}",
+            )
+            process.start()
+            child_sock.close()
+            self._shards.append(
+                _Shard(
+                    index,
+                    parent_sock,
+                    process,
+                    CircuitBreaker(
+                        threshold=breaker_threshold,
+                        cooldown_s=breaker_cooldown_s,
+                    ),
+                )
+            )
+        if prepare:
+            # fail fast if a worker never came up, and warm every pool
+            # shard before the first batch (the sharded offline phase)
+            self.prepare(prepare)
+
+    # -- shard plumbing ----------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        """Configured worker count (live or not)."""
+        return len(self._shards)
+
+    def live_shards(self) -> List[int]:
+        """Indices of shards whose worker process is still running."""
+        return [
+            s.index
+            for s in self._shards
+            if s.alive and s.process.is_alive()
+        ]
+
+    def _shard_rpc(self, shard: _Shard, record: Dict[str, Any]) -> Dict[str, Any]:
+        """One breaker-audited RPC; marks the shard dead on wire failure."""
+        try:
+            reply = shard.call(record, timeout=self._rpc_timeout_s)
+        except Exception:
+            shard.breaker.record_failure()
+            with self._lock:
+                shard.failures += 1
+            if not shard.process.is_alive():
+                shard.alive = False
+            raise
+        shard.breaker.record_success()
+        return reply
+
+    def _fallback_service(self) -> Any:
+        """The lazily built in-process service for degraded chunks."""
+        with self._lock:
+            if self._fallback is None:
+                self._fallback = self._factory()
+        return self._fallback
+
+    # -- serving -----------------------------------------------------------
+
+    def infer_many(
+        self,
+        samples: Sequence[Any],
+        max_workers: int = 1,
+        request_ids: Optional[Sequence[Optional[str]]] = None,
+    ) -> List[Any]:
+        """Serve a batch, partitioned across the worker shards.
+
+        Samples are split into ``shard_count`` contiguous chunks; each
+        chunk's RPC runs on its own front-end thread, so shards execute
+        their garbled protocols genuinely in parallel (separate
+        processes — no GIL coupling).  Results come back in request
+        order as :class:`repro.service.InferenceResult` records; failed
+        shards degrade per chunk to the in-process fallback.
+
+        Args:
+            samples: feature vectors (anything ``np.asarray`` takes).
+            max_workers: thread width *inside* each worker's service.
+            request_ids: optional per-request tags, echoed on results.
+        """
+        from ..service import InferenceResult
+
+        n = len(samples)
+        if n == 0:
+            return []
+        ids: List[Optional[str]] = (
+            list(request_ids) if request_ids is not None else [None] * n
+        )
+        if len(ids) != n:
+            raise EngineError(
+                f"request_ids length {len(ids)} != samples length {n}"
+            )
+        with self._lock:
+            self._stats["requests"] += n
+
+        # contiguous chunking keeps result reassembly trivial and gives
+        # every shard ~n/k requests; a dead shard's chunk reroutes whole
+        chunks = self._partition(n)
+        outcomes: List[Optional[Any]] = [None] * n
+
+        def serve_chunk(shard: _Shard, start: int, stop: int) -> None:
+            chunk_samples = [_flatten(samples[i]) for i in range(start, stop)]
+            chunk_ids = ids[start:stop]
+            degraded = not shard.breaker.allow()
+            if not degraded:
+                try:
+                    reply = self._shard_rpc(
+                        shard,
+                        {
+                            "op": "infer",
+                            "samples": chunk_samples,
+                            "request_ids": chunk_ids,
+                            "max_workers": max_workers,
+                        },
+                    )
+                except Exception:
+                    degraded = True
+                else:
+                    with self._lock:
+                        shard.requests += stop - start
+                    for offset, record in enumerate(reply["results"]):
+                        outcomes[start + offset] = InferenceResult(**record)
+                    return
+            with self._lock:
+                self._stats["degraded_requests"] += stop - start
+                self._stats["reroutes"] += 1
+            service = self._fallback_service()
+            from ..service import InferenceRequest
+
+            import numpy as np
+
+            requests = [
+                InferenceRequest(
+                    sample=np.asarray(samples[i]), request_id=ids[i]
+                )
+                for i in range(start, stop)
+            ]
+            results = service.infer_many(
+                requests, max_workers=max_workers, return_errors=True
+            )
+            for offset, result in enumerate(results):
+                outcomes[start + offset] = result
+
+        threads = [
+            threading.Thread(
+                target=serve_chunk,
+                args=(self._shards[shard_index], start, stop),
+                name=f"repro-front-{shard_index}",
+            )
+            for shard_index, (start, stop) in chunks
+            if stop > start
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _partition(self, n: int) -> List[Any]:
+        """``[(shard_index, (start, stop)), ...]`` contiguous chunks."""
+        k = len(self._shards)
+        base, extra = divmod(n, k)
+        chunks = []
+        start = 0
+        for index in range(k):
+            stop = start + base + (1 if index < extra else 0)
+            chunks.append((index, (start, stop)))
+            start = stop
+        return chunks
+
+    # -- introspection / lifecycle ----------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Front-end routing counters plus per-shard service rollups."""
+        with self._lock:
+            snapshot: Dict[str, Any] = dict(self._stats)
+        snapshot["shards"] = len(self._shards)
+        snapshot["live_shards"] = len(self.live_shards())
+        per_shard: List[Dict[str, Any]] = []
+        for shard in self._shards:
+            entry: Dict[str, Any] = {
+                "index": shard.index,
+                "alive": shard.alive and shard.process.is_alive(),
+                "requests": shard.requests,
+                "failures": shard.failures,
+                "breaker": shard.breaker.stats(),
+            }
+            if entry["alive"] and shard.breaker.allow():
+                try:
+                    entry["service"] = self._shard_rpc(
+                        shard, {"op": "stats"}
+                    )["stats"]
+                except Exception:
+                    entry["alive"] = False
+            per_shard.append(entry)
+        snapshot["per_shard"] = per_shard
+        with self._lock:
+            fallback = self._fallback
+        if fallback is not None:
+            # fallback.stats takes the service's own lock; call outside ours
+            snapshot["fallback"] = fallback.stats
+        return snapshot
+
+    def prepare(self, count: int) -> int:
+        """Warm every live worker's pre-garbled pool (offline phase).
+
+        Returns the total copies garbled across shards.
+        """
+        total = 0
+        for shard in self._shards:
+            try:
+                reply = self._shard_rpc(
+                    shard, {"op": "prepare", "count": count}
+                )
+            except Exception:
+                continue
+            total += int(reply.get("warmed", 0))
+        return total
+
+    def close(self) -> None:
+        """Shut every worker down and reap the processes (idempotent)."""
+        for shard in self._shards:
+            if shard.alive and shard.process.is_alive():
+                try:
+                    shard.call({"op": "shutdown"}, timeout=5.0)
+                except Exception:
+                    pass
+            try:
+                shard.sock.close()
+            except OSError:
+                pass
+            shard.process.join(timeout=5.0)
+            if shard.process.is_alive():  # pragma: no cover - stuck child
+                shard.process.terminate()
+                shard.process.join(timeout=5.0)
+            shard.alive = False
+        with self._lock:
+            fallback = self._fallback
+        if fallback is not None:
+            fallback.close()
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _flatten(sample: Any) -> List[float]:
+    """A feature vector as a flat float list (JSON-safe shard payload)."""
+    import numpy as np
+
+    return [float(v) for v in np.asarray(sample, dtype=float).ravel()]

@@ -1,0 +1,320 @@
+"""The worker side of the distributed serving tier.
+
+A worker process hosts a full :class:`repro.service.PrivateInferenceService`
+(its own compiled circuit, pre-garbled pool and resilience wiring) behind
+a tiny control protocol: JSON records in ``"ctl"``-tagged wire frames on
+the same socket the protocol flights use.  The protocol is strictly
+turn-based — one side sends a control record, the other replies — and
+:func:`repro.transport.wire.read_frame` never reads past one frame, so
+control records and garbled-protocol frames interleave safely on a
+single connection.
+
+Control operations:
+
+``ping``
+    liveness probe; replies ``pong``.
+``peer``
+    host the evaluator side of a split session: the caller names the
+    flow (``two_party`` / ``folded``), the session seed and both input
+    bit vectors, then both processes run the lockstep-mirrored session
+    (:mod:`repro.transport.peer`) over this same socket.  The reply that
+    follows the session carries the worker's decoded outputs and comm
+    total so the caller can assert cross-process agreement.
+``infer``
+    serve a batch shard through ``service.infer_many`` and return the
+    per-request records — the :class:`~repro.transport.sharded.ShardedService`
+    data path.
+``prepare``
+    warm the worker's pre-garbled pool (``service.prepare``) and report
+    how many copies were garbled — the sharded offline phase.
+``stats``
+    the service's serving counters (pool, breakers, faults) as JSON.
+``shutdown``
+    acknowledge and stop serving this connection.
+
+Failure mapping matches the channel layer: EOF mid-record surfaces as
+the transient :class:`repro.errors.ChannelClosedError`, malformed
+records as :class:`repro.errors.ChannelIntegrityError`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import zlib
+from typing import Any, Dict, Optional
+
+from ..errors import ChannelClosedError, ChannelEmptyError, ChannelIntegrityError
+from .wire import checksummed, encode_frame, read_frame
+
+__all__ = [
+    "CTL_TAG",
+    "WorkerServer",
+    "recv_ctl",
+    "send_ctl",
+    "serve_connection",
+]
+
+#: Frame tag reserved for control records.
+CTL_TAG = "ctl"
+
+#: Cap on one control record's JSON payload (1 MiB — a batch shard of
+#: feature vectors fits with room to spare; a rogue prefix does not).
+MAX_CTL_BYTES = 1 << 20
+
+
+def send_ctl(sock: socket.socket, record: Dict[str, Any]) -> None:
+    """Send one JSON control record as a ``"ctl"`` wire frame."""
+    payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_CTL_BYTES:
+        raise ChannelIntegrityError(
+            f"control record of {len(payload)} bytes exceeds the "
+            f"{MAX_CTL_BYTES}-byte cap"
+        )
+    try:
+        sock.sendall(encode_frame(checksummed(CTL_TAG, payload)))
+    except (BrokenPipeError, ConnectionResetError):
+        raise ChannelClosedError(
+            "control send failed: peer closed the connection"
+        ) from None
+
+
+def _sock_read_exact(sock: socket.socket, n: int) -> bytes:
+    parts = bytearray()
+    while len(parts) < n:
+        try:
+            chunk = sock.recv(n - len(parts))
+        except ConnectionResetError:
+            raise ChannelClosedError(
+                "control recv failed: connection reset by peer"
+            ) from None
+        if not chunk:
+            raise ChannelClosedError(
+                f"control recv hit EOF after {len(parts)}/{n} bytes: "
+                "peer closed the connection"
+            )
+        parts.extend(chunk)
+    return bytes(parts)
+
+
+def recv_ctl(
+    sock: socket.socket, timeout: Optional[float] = None
+) -> Dict[str, Any]:
+    """Receive one control record (validates tag, CRC and JSON shape).
+
+    Raises:
+        ChannelClosedError: peer closed the connection (transient).
+        ChannelEmptyError: no record arrived within ``timeout`` seconds.
+        ChannelIntegrityError: the record is malformed (wrong tag, CRC
+            mismatch, or non-object JSON).
+    """
+    if timeout is not None:
+        sock.settimeout(timeout)
+    try:
+        frame = read_frame(
+            lambda n: _sock_read_exact(sock, n), max_payload=MAX_CTL_BYTES
+        )
+    except socket.timeout:
+        raise ChannelEmptyError(
+            f"no control record within {timeout!r}s"
+        ) from None
+    finally:
+        if timeout is not None:
+            try:
+                sock.settimeout(None)
+            except OSError:  # pragma: no cover - fd already torn down
+                pass
+    if frame.tag != CTL_TAG:
+        raise ChannelIntegrityError(
+            f"expected a control record, got frame tag {frame.tag!r}"
+        )
+    if zlib.crc32(frame.payload) != frame.crc:
+        raise ChannelIntegrityError("control record failed its checksum")
+    try:
+        record = json.loads(frame.payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise ChannelIntegrityError(
+            "control record payload is not valid JSON"
+        ) from None
+    if not isinstance(record, dict):
+        raise ChannelIntegrityError(
+            f"control record must be a JSON object, got "
+            f"{type(record).__name__}"
+        )
+    return record
+
+
+def _result_record(result: Any) -> Dict[str, Any]:
+    """One ``InferenceResult`` as a JSON-safe record (inverse in sharded)."""
+    return {
+        "label": result.label,
+        "comm_bytes": result.comm_bytes,
+        "times": dict(result.times),
+        "n_non_xor": result.n_non_xor,
+        "backend": result.backend,
+        "request_id": result.request_id,
+        "pregarbled": result.pregarbled,
+        "error": result.error,
+        "error_type": result.error_type,
+        "error_category": result.error_category,
+    }
+
+
+def _handle_peer(sock: socket.socket, service: Any, record: Dict[str, Any]) -> None:
+    """Host the evaluator side of one split session on this socket."""
+    import random
+
+    from .peer import run_folded_peer, run_two_party_peer
+
+    flow = record.get("flow", "two_party")
+    seed = int(record.get("seed", 0))
+    alice_bits = [int(b) for b in record.get("alice_bits", [])]
+    bob_bits = [int(b) for b in record.get("bob_bits", [])]
+    runner = {"two_party": run_two_party_peer, "folded": run_folded_peer}.get(flow)
+    if runner is None:
+        send_ctl(sock, {"ok": False, "error": f"unknown peer flow {flow!r}"})
+        return
+    # ack first: the caller must not start its side of the session until
+    # the worker is committed to reading protocol frames
+    send_ctl(sock, {"ok": True, "op": "peer", "flow": flow})
+    result = runner(
+        sock,
+        "evaluator",
+        service.compiled.circuit,
+        alice_bits,
+        bob_bits,
+        kdf=service.config.kdf,
+        ot_group=service.config.ot_group,
+        rng=random.Random(seed),
+        vectorized=service.config.vectorized,
+        request_timeout_s=service.config.request_timeout_s,
+    )
+    outputs = result.final_outputs if flow == "folded" else result.outputs
+    send_ctl(
+        sock,
+        {
+            "ok": True,
+            "op": "peer_result",
+            "outputs": [int(b) for b in outputs],
+            "label": service.compiled.decode_output(list(outputs)),
+            "comm_bytes": sum(result.comm.values()),
+        },
+    )
+
+
+def _handle_infer(sock: socket.socket, service: Any, record: Dict[str, Any]) -> None:
+    """Serve one batch shard through the worker's own service."""
+    import numpy as np
+
+    samples = record.get("samples", [])
+    request_ids = record.get("request_ids") or [None] * len(samples)
+    from ..service import InferenceRequest
+
+    requests = [
+        InferenceRequest(
+            sample=np.asarray(sample, dtype=float), request_id=request_id
+        )
+        for sample, request_id in zip(samples, request_ids)
+    ]
+    results = service.infer_many(
+        requests,
+        max_workers=int(record.get("max_workers", 1)),
+        return_errors=True,
+    )
+    send_ctl(
+        sock,
+        {
+            "ok": True,
+            "op": "infer",
+            "results": [_result_record(r) for r in results],
+        },
+    )
+
+
+def serve_connection(sock: socket.socket, service: Any) -> Dict[str, int]:
+    """Serve control records on ``sock`` until shutdown or disconnect.
+
+    Returns per-operation counters (``{"peer": 2, "infer": 1, ...}``)
+    for operator output.
+    """
+    counters: Dict[str, int] = {}
+    while True:
+        try:
+            record = recv_ctl(sock)
+        except ChannelClosedError:
+            break  # caller went away: a clean end of this connection
+        op = str(record.get("op", ""))
+        counters[op] = counters.get(op, 0) + 1
+        if op == "ping":
+            send_ctl(sock, {"ok": True, "op": "pong"})
+        elif op == "peer":
+            _handle_peer(sock, service, record)
+        elif op == "infer":
+            _handle_infer(sock, service, record)
+        elif op == "prepare":
+            count = record.get("count")
+            warmed = service.prepare(int(count) if count is not None else None)
+            send_ctl(sock, {"ok": True, "op": "prepare", "warmed": warmed})
+        elif op == "stats":
+            send_ctl(sock, {"ok": True, "op": "stats", "stats": service.stats})
+        elif op == "shutdown":
+            send_ctl(sock, {"ok": True, "op": "shutdown"})
+            break
+        else:
+            send_ctl(sock, {"ok": False, "error": f"unknown op {op!r}"})
+    return counters
+
+
+class WorkerServer:
+    """A TCP listener hosting one service for the ``cli worker`` command.
+
+    Connections are served one at a time (the protocol is turn-based and
+    CPU-bound; a worker *is* the unit of parallelism — run more workers
+    for more concurrency, which is exactly what ``ShardedService`` does).
+
+    Args:
+        service: the :class:`~repro.service.PrivateInferenceService` to host.
+        host / port: bind address; port 0 picks a free port (read it
+            back from :attr:`address` or the ``port_file``).
+    """
+
+    def __init__(self, service: Any, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._service = service
+        self._listener = socket.create_server((host, port))
+        self.address = self._listener.getsockname()
+        self.counters: Dict[str, int] = {}
+        self.connections = 0
+
+    def write_port_file(self, path: str) -> None:
+        """Publish ``host port`` for a front-end process to discover."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"{self.address[0]} {self.address[1]}\n")
+
+    def serve_forever(self, once: bool = False) -> None:
+        """Accept and serve connections until a ``shutdown`` record.
+
+        Args:
+            once: stop after the first connection ends (with or without
+                an explicit shutdown) — the CI smoke-test mode.
+        """
+        try:
+            while True:
+                conn, _ = self._listener.accept()
+                self.connections += 1
+                try:
+                    served = serve_connection(conn, self._service)
+                finally:
+                    conn.close()
+                for op, count in served.items():
+                    self.counters[op] = self.counters.get(op, 0) + count
+                if once or served.get("shutdown"):
+                    break
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop listening (idempotent)."""
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass

@@ -287,7 +287,9 @@ class TestFaultPlan:
             plan = FaultPlan([FaultSpec("corrupt", tag="x")], seed=seed)
             alice, bob, _ = faulty_channel_factory(plan)()
             alice.send_bytes(b"deterministic-payload", tag="x")
-            return bob._inbox[0].payload
+            # the raw delivered frame, via the transport seam (works on
+            # any transport; recv_bytes would reject the bad checksum)
+            return bob._fetch(0, "x").payload
 
         assert corrupted(5) == corrupted(5)
         assert corrupted(5) != corrupted(6)

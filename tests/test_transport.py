@@ -1,0 +1,622 @@
+"""Distributed serving tier: wire codec, socket channels, split peers,
+worker protocol and the process-sharded front-end."""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import CircuitBuilder, FixedPointFormat, simulate
+from repro.circuits.sequential import SequentialCircuit
+from repro.engine import EngineConfig
+from repro.errors import (
+    ChannelClosedError,
+    ChannelEmptyError,
+    ChannelIntegrityError,
+    EngineError,
+)
+from repro.gc import SequentialSession, TwoPartySession
+from repro.gc.channel import Frame, default_channel_factory, make_channel_pair
+from repro.gc.ot import TEST_GROUP_512
+from repro.nn import Dense, Sequential, Tanh, TrainConfig, Trainer
+from repro.resilience import FaultPlan, FaultSpec, faulty_channel_factory
+from repro.transport import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_TAG_BYTES,
+    FrameDecoder,
+    ShardedService,
+    decode_frame,
+    encode_frame,
+    socketpair_channel_factory,
+)
+from repro.transport.peer import (
+    peer_channel_factory,
+    run_folded_peer,
+    run_two_party_peer,
+)
+from repro.transport.wire import checksummed, read_frame
+from repro.transport.worker import WorkerServer, recv_ctl, send_ctl
+
+
+def random_circuit(seed, n_gates=60, n_inputs=4):
+    rng = random.Random(seed)
+    bld = CircuitBuilder()
+    a = bld.add_alice_inputs(n_inputs)
+    b = bld.add_bob_inputs(n_inputs)
+    wires = list(a) + list(b)
+    ops = ["xor", "and", "or", "nand", "andn", "not", "xnor", "nor"]
+    for _ in range(n_gates):
+        op = rng.choice(ops)
+        x = rng.choice(wires)
+        if op == "not":
+            wires.append(bld.emit_not(x))
+        else:
+            wires.append(getattr(bld, f"emit_{op}")(x, rng.choice(wires)))
+    for w in wires[-5:]:
+        bld.mark_output(w)
+    return bld.build()
+
+
+# ---------------------------------------------------------------------------
+# wire codec
+# ---------------------------------------------------------------------------
+
+
+class TestWireCodec:
+    def test_round_trip(self):
+        frame = Frame(tag="tables", seq=7, payload=b"\x00\x01\xffdata",
+                      crc=0xDEADBEEF, delay_s=1.5)
+        decoded, offset = decode_frame(encode_frame(frame))
+        assert decoded == frame
+        assert offset == HEADER_SIZE + len("tables") + len(frame.payload)
+
+    def test_round_trip_empty_payload(self):
+        frame = Frame(tag="ot", seq=0, payload=b"", crc=0)
+        decoded, _ = decode_frame(encode_frame(frame))
+        assert decoded == frame
+
+    def test_crc_carried_verbatim_not_recomputed(self):
+        # a pre-corrupted frame (wrong crc for its payload) must survive
+        # the codec untouched so receive-side validation still fires
+        frame = Frame(tag="x", seq=1, payload=b"corrupted", crc=12345)
+        decoded, _ = decode_frame(encode_frame(frame))
+        assert decoded.crc == 12345
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(encode_frame(Frame(tag="t", seq=0, payload=b"p", crc=0)))
+        data[:4] = b"EVIL"
+        with pytest.raises(ChannelIntegrityError, match="magic"):
+            decode_frame(bytes(data))
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ChannelIntegrityError, match="truncated"):
+            decode_frame(b"\x00" * (HEADER_SIZE - 1))
+
+    def test_truncated_body_rejected(self):
+        data = encode_frame(Frame(tag="t", seq=0, payload=b"payload", crc=0))
+        with pytest.raises(ChannelIntegrityError, match="truncated"):
+            decode_frame(data[:-3])
+
+    def test_oversized_length_prefix_rejected_without_allocation(self):
+        # a hostile length prefix must be refused from the header alone
+        evil = bytearray(encode_frame(Frame(tag="t", seq=0, payload=b"small",
+                                            crc=0)))
+        evil[25:29] = (2**31).to_bytes(4, "little")  # payload_len field
+        with pytest.raises(ChannelIntegrityError, match="cap"):
+            decode_frame(bytes(evil))
+        with pytest.raises(ChannelIntegrityError, match="cap"):
+            FrameDecoder().feed(bytes(evil))
+
+    def test_encode_rejects_oversized_payload(self):
+        frame = Frame(tag="t", seq=0, payload=b"x" * 100, crc=0)
+        with pytest.raises(ChannelIntegrityError, match="cap"):
+            encode_frame(frame, max_payload=64)
+
+    def test_encode_rejects_bad_tag(self):
+        with pytest.raises(ChannelIntegrityError, match="tag"):
+            encode_frame(Frame(tag="", seq=0, payload=b"", crc=0))
+        with pytest.raises(ChannelIntegrityError, match="tag"):
+            encode_frame(
+                Frame(tag="x" * (MAX_TAG_BYTES + 1), seq=0, payload=b"", crc=0)
+            )
+
+    def test_encode_rejects_out_of_range_fields(self):
+        with pytest.raises(ChannelIntegrityError, match="u64"):
+            encode_frame(Frame(tag="t", seq=2**64, payload=b"", crc=0))
+        with pytest.raises(ChannelIntegrityError, match="u32"):
+            encode_frame(Frame(tag="t", seq=0, payload=b"", crc=2**32))
+        with pytest.raises(ChannelIntegrityError, match="delay"):
+            encode_frame(
+                Frame(tag="t", seq=0, payload=b"", crc=0, delay_s=-1.0)
+            )
+
+    def test_streaming_decoder_reassembles_split_frames(self):
+        frames = [
+            Frame(tag=f"t{i}", seq=i, payload=bytes([i]) * (i * 7), crc=i)
+            for i in range(5)
+        ]
+        stream = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(0, len(stream), 3):  # worst-case 3-byte chunks
+            out.extend(decoder.feed(stream[i : i + 3]))
+        assert out == frames
+        assert decoder.pending_bytes == 0
+
+    def test_streaming_decoder_rejects_bad_magic_fast(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ChannelIntegrityError, match="magic"):
+            decoder.feed(b"JUNKJUNKJUNK" + b"\x00" * HEADER_SIZE)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        tag=st.text(min_size=1, max_size=16).filter(
+            lambda t: 0 < len(t.encode("utf-8")) <= MAX_TAG_BYTES
+        ),
+        seq=st.integers(min_value=0, max_value=2**64 - 1),
+        payload=st.binary(max_size=512),
+        crc=st.integers(min_value=0, max_value=2**32 - 1),
+        delay=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        chunk=st.integers(min_value=1, max_value=64),
+    )
+    def test_property_round_trip_any_frame(
+        self, tag, seq, payload, crc, delay, chunk
+    ):
+        frame = Frame(tag=tag, seq=seq, payload=payload, crc=crc, delay_s=delay)
+        data = encode_frame(frame)
+        assert decode_frame(data)[0] == frame
+        decoder = FrameDecoder()
+        out = []
+        for i in range(0, len(data), chunk):
+            out.extend(decoder.feed(data[i : i + chunk]))
+        assert out == [frame]
+
+    @settings(max_examples=50, deadline=None)
+    @given(cut=st.integers(min_value=0, max_value=1000))
+    def test_property_truncation_never_yields_a_frame(self, cut):
+        frame = Frame(tag="tables", seq=3, payload=b"p" * 100, crc=9)
+        encoded = encode_frame(frame)
+        with pytest.raises(ChannelIntegrityError):
+            decode_frame(encoded[: min(cut, len(encoded) - 1)])
+
+    def test_read_frame_never_over_reads(self):
+        frames = [
+            Frame(tag="a", seq=0, payload=b"first", crc=1),
+            Frame(tag="b", seq=1, payload=b"second", crc=2),
+        ]
+        stream = b"".join(encode_frame(f) for f in frames)
+        position = [0]
+
+        def read_exact(n):
+            chunk = stream[position[0] : position[0] + n]
+            position[0] += n
+            return chunk
+
+        assert read_frame(read_exact) == frames[0]
+        assert read_frame(read_exact) == frames[1]
+        assert position[0] == len(stream)
+
+
+# ---------------------------------------------------------------------------
+# socket channels: loopback socketpair mode
+# ---------------------------------------------------------------------------
+
+
+class TestSocketChannel:
+    def test_send_recv_round_trip(self):
+        alice, bob, stats = socketpair_channel_factory()()
+        alice.send_bytes(b"hello", tag="greet")
+        assert bob.recv_bytes(expected_tag="greet") == b"hello"
+        # accounting parity: payload + 4, recorded on the sender's side
+        assert stats.by_tag()["greet"] == len(b"hello") + 4
+        assert stats.bytes_a_to_b == len(b"hello") + 4
+        alice.close()
+        bob.close()
+
+    def test_empty_channel_raises_typed_error(self):
+        alice, bob, _ = socketpair_channel_factory()()
+        with pytest.raises(ChannelEmptyError):
+            bob.recv_bytes()
+        alice.close()
+        bob.close()
+
+    def test_large_frame_survives_kernel_buffering(self):
+        # bigger than any socketpair buffer: exercises the non-blocking
+        # send path that drains the peer to avoid single-thread deadlock
+        alice, bob, _ = socketpair_channel_factory()()
+        blob = bytes(range(256)) * 4096  # 1 MiB
+        alice.send_bytes(blob, tag="big")
+        assert bob.recv_bytes(expected_tag="big") == blob
+        alice.close()
+        bob.close()
+
+    def test_close_surfaces_as_channel_closed(self):
+        alice, bob, _ = socketpair_channel_factory()()
+        alice.close()
+        with pytest.raises(ChannelClosedError):
+            bob.recv_bytes()
+
+    def test_frames_in_flight_survive_close(self):
+        alice, bob, _ = socketpair_channel_factory()()
+        alice.send_bytes(b"parting", tag="last")
+        alice.close()
+        assert bob.recv_bytes(expected_tag="last") == b"parting"
+        with pytest.raises(ChannelClosedError):
+            bob.recv_bytes()
+
+    def test_remote_mode_eof_is_channel_closed(self):
+        left, right = socket.socketpair()
+        from repro.transport import SocketChannel
+
+        channel = SocketChannel(right, "b2a", io_timeout_s=5.0)
+        left.close()
+        with pytest.raises(ChannelClosedError):
+            channel.recv_bytes()
+        channel.close()
+
+    def test_sequence_validation_inherited(self):
+        alice, bob, _ = socketpair_channel_factory()()
+        alice.send_bytes(b"0", tag="t")
+        alice.send_bytes(b"1", tag="t")
+        bob.recv_bytes()
+        bob._received += 1  # simulate a lost frame
+        with pytest.raises(ChannelIntegrityError, match="out-of-sequence"):
+            bob.recv_bytes()
+        alice.close()
+        bob.close()
+
+
+# ---------------------------------------------------------------------------
+# bit-identical protocol runs across transports
+# ---------------------------------------------------------------------------
+
+
+class TestTransportParity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_two_party_socket_matches_memory(self, seed):
+        circuit = random_circuit(seed)
+        rng = random.Random(seed)
+        a = [rng.randrange(2) for _ in range(4)]
+        b = [rng.randrange(2) for _ in range(4)]
+        memory = TwoPartySession(
+            circuit, ot_group=TEST_GROUP_512, rng=random.Random(7)
+        ).run(a, b)
+        socketed = TwoPartySession(
+            circuit, ot_group=TEST_GROUP_512, rng=random.Random(7),
+            channel_factory=socketpair_channel_factory(),
+        ).run(a, b)
+        assert socketed.outputs == memory.outputs == simulate(circuit, a, b)
+        assert socketed.comm == memory.comm
+
+    def test_folded_socket_matches_memory(self):
+        circuit = random_circuit(11)
+        rng = random.Random(11)
+        a = [rng.randrange(2) for _ in range(4)]
+        b = [rng.randrange(2) for _ in range(4)]
+        memory = SequentialSession(
+            SequentialCircuit(circuit, []), ot_group=TEST_GROUP_512,
+            rng=random.Random(7),
+        ).run([a], [b], cycles=1)
+        socketed = SequentialSession(
+            SequentialCircuit(circuit, []), ot_group=TEST_GROUP_512,
+            rng=random.Random(7),
+            channel_factory=socketpair_channel_factory(),
+        ).run([a], [b], cycles=1)
+        assert socketed.outputs_per_cycle == memory.outputs_per_cycle
+        assert socketed.comm == memory.comm
+
+    def test_fault_injection_composes_over_sockets(self):
+        # a dropped message over the socket transport surfaces exactly
+        # like the in-memory drop: a typed empty-channel error
+        plan = FaultPlan([FaultSpec("drop", tag="x")], seed=0)
+        alice, bob, _ = faulty_channel_factory(
+            plan, inner=socketpair_channel_factory()
+        )()
+        alice.send_bytes(b"gone", tag="x")
+        with pytest.raises(ChannelEmptyError):
+            bob.recv_bytes()
+        alice.close()
+        bob.close()
+
+    def test_default_factory_honors_env(self, monkeypatch):
+        from repro.transport import SocketChannel
+
+        monkeypatch.setenv("REPRO_TRANSPORT", "socket")
+        alice, _, _ = default_channel_factory()()
+        assert isinstance(alice, SocketChannel)
+        monkeypatch.setenv("REPRO_TRANSPORT", "memory")
+        assert default_channel_factory() is make_channel_pair
+        monkeypatch.setenv("REPRO_TRANSPORT", "carrier-pigeon")
+        with pytest.raises(ValueError):
+            default_channel_factory()
+
+    def test_engine_config_transport_validation(self):
+        assert EngineConfig(transport="socket").transport == "socket"
+        with pytest.raises(EngineError):
+            EngineConfig(transport="telepathy")
+        with pytest.raises(EngineError):
+            EngineConfig(shards=-1)
+
+
+# ---------------------------------------------------------------------------
+# split peer sessions: one party per endpoint
+# ---------------------------------------------------------------------------
+
+
+def _run_both_sides(runner, circuit, a, b, seed):
+    left, right = socket.socketpair()
+    results = {}
+
+    def side(role, sock):
+        results[role] = runner(
+            sock, role, circuit, a, b, ot_group=TEST_GROUP_512,
+            rng=random.Random(seed),
+        )
+
+    evaluator = threading.Thread(target=side, args=("evaluator", right))
+    evaluator.start()
+    side("garbler", left)
+    evaluator.join()
+    left.close()
+    right.close()
+    return results["garbler"], results["evaluator"]
+
+
+class TestPeerSessions:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_two_party_peer_matches_memory_on_both_ends(self, seed):
+        circuit = random_circuit(seed)
+        rng = random.Random(seed)
+        a = [rng.randrange(2) for _ in range(4)]
+        b = [rng.randrange(2) for _ in range(4)]
+        reference = TwoPartySession(
+            circuit, ot_group=TEST_GROUP_512, rng=random.Random(7)
+        ).run(a, b)
+        garbler, evaluator = _run_both_sides(
+            run_two_party_peer, circuit, a, b, 7
+        )
+        assert garbler.outputs == evaluator.outputs == reference.outputs
+        assert garbler.comm == evaluator.comm == reference.comm
+
+    def test_folded_peer_matches_memory(self):
+        circuit = random_circuit(23)
+        rng = random.Random(23)
+        a = [rng.randrange(2) for _ in range(4)]
+        b = [rng.randrange(2) for _ in range(4)]
+        reference = SequentialSession(
+            SequentialCircuit(circuit, []), ot_group=TEST_GROUP_512,
+            rng=random.Random(7),
+        ).run([a], [b], cycles=1)
+        garbler, evaluator = _run_both_sides(run_folded_peer, circuit, a, b, 7)
+        assert (garbler.outputs_per_cycle == evaluator.outputs_per_cycle
+                == reference.outputs_per_cycle)
+        assert garbler.comm == evaluator.comm == reference.comm
+
+    def test_peer_requires_seeded_rng(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(EngineError, match="seeded"):
+                run_two_party_peer(left, "garbler", random_circuit(0),
+                                   [0] * 4, [0] * 4)
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_rejects_unknown_role(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(EngineError, match="role"):
+                peer_channel_factory(left, "adversary")
+        finally:
+            left.close()
+            right.close()
+
+    def test_dead_peer_surfaces_transient_error(self):
+        circuit = random_circuit(1)
+        left, right = socket.socketpair()
+        right.close()  # evaluator never shows up
+        try:
+            with pytest.raises(ChannelClosedError):
+                run_two_party_peer(
+                    left, "garbler", circuit, [0] * 4, [1] * 4,
+                    ot_group=TEST_GROUP_512, rng=random.Random(1),
+                )
+        finally:
+            left.close()
+
+
+# ---------------------------------------------------------------------------
+# worker control protocol + sharded front-end
+# ---------------------------------------------------------------------------
+
+
+def _tiny_service():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, size=(40, 6))
+    w = rng.normal(size=(6, 3))
+    y = (x @ w).argmax(axis=1)
+    model = Sequential([Dense(4), Tanh(), Dense(3)], input_shape=(6,), seed=1)
+    Trainer(model, TrainConfig(epochs=5, learning_rate=0.2)).fit(x, y)
+    from repro.service import PrivateInferenceService
+
+    config = EngineConfig(
+        fmt=FixedPointFormat(2, 6), activation="exact",
+        ot_group=TEST_GROUP_512, rng=random.Random(3), transport="memory",
+    )
+    return PrivateInferenceService(model, config)
+
+
+def _tiny_samples(n):
+    rng = np.random.default_rng(0)
+    return list(rng.uniform(-1, 1, size=(40, 6))[:n])
+
+
+@pytest.fixture(scope="module")
+def tiny_service():
+    service = _tiny_service()
+    yield service
+    service.close()
+
+
+class TestWorkerProtocol:
+    def test_ctl_round_trip_and_validation(self):
+        left, right = socket.socketpair()
+        try:
+            send_ctl(left, {"op": "ping", "n": 3})
+            assert recv_ctl(right, timeout=5.0) == {"op": "ping", "n": 3}
+            # a protocol frame is not a control record
+            right.sendall(
+                encode_frame(Frame(tag="tables", seq=0, payload=b"x", crc=0))
+            )
+            with pytest.raises(ChannelIntegrityError, match="control"):
+                recv_ctl(left, timeout=5.0)
+        finally:
+            left.close()
+            right.close()
+
+    def test_ctl_crc_validated(self):
+        left, right = socket.socketpair()
+        try:
+            bad = checksummed("ctl", b'{"op":"ping"}')
+            bad = Frame(tag="ctl", seq=0, payload=bad.payload, crc=bad.crc ^ 1)
+            left.sendall(encode_frame(bad))
+            with pytest.raises(ChannelIntegrityError, match="checksum"):
+                recv_ctl(right, timeout=5.0)
+        finally:
+            left.close()
+            right.close()
+
+    def test_ctl_eof_is_channel_closed(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(ChannelClosedError):
+                recv_ctl(right, timeout=5.0)
+        finally:
+            right.close()
+
+    def test_worker_serves_peer_and_infer_over_tcp(self, tiny_service):
+        server = WorkerServer(tiny_service)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"once": True})
+        thread.start()
+        sample = _tiny_samples(1)[0]
+        sock = socket.create_connection(server.address)
+        try:
+            send_ctl(sock, {"op": "ping"})
+            assert recv_ctl(sock, timeout=30.0)["op"] == "pong"
+            # infer op serves through the worker's own service
+            send_ctl(sock, {
+                "op": "infer",
+                "samples": [[float(v) for v in sample]],
+                "request_ids": ["r0"],
+            })
+            reply = recv_ctl(sock, timeout=120.0)
+            assert reply["ok"]
+            [record] = reply["results"]
+            assert record["label"] == tiny_service.cleartext_label(sample)
+            assert record["request_id"] == "r0"
+            # peer op: split session, garbler here / evaluator there
+            client_bits = tiny_service.compiled.client_bits(sample)
+            server_bits = tiny_service._server_bits
+            send_ctl(sock, {
+                "op": "peer", "flow": "two_party", "seed": 99,
+                "alice_bits": client_bits, "bob_bits": server_bits,
+            })
+            assert recv_ctl(sock, timeout=30.0)["ok"]
+            result = run_two_party_peer(
+                sock, "garbler", tiny_service.compiled.circuit,
+                client_bits, server_bits, ot_group=TEST_GROUP_512,
+                rng=random.Random(99),
+            )
+            remote = recv_ctl(sock, timeout=120.0)
+            assert remote["outputs"] == result.outputs
+            assert remote["comm_bytes"] == sum(result.comm.values())
+            assert remote["label"] == tiny_service.cleartext_label(sample)
+            send_ctl(sock, {"op": "shutdown"})
+            assert recv_ctl(sock, timeout=30.0)["ok"]
+        finally:
+            sock.close()
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert server.counters == {"ping": 1, "infer": 1, "peer": 1,
+                                   "shutdown": 1}
+
+    def test_unknown_op_rejected_without_killing_connection(self, tiny_service):
+        server = WorkerServer(tiny_service)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"once": True})
+        thread.start()
+        sock = socket.create_connection(server.address)
+        try:
+            send_ctl(sock, {"op": "exfiltrate"})
+            assert recv_ctl(sock, timeout=30.0)["ok"] is False
+            send_ctl(sock, {"op": "ping"})
+            assert recv_ctl(sock, timeout=30.0)["op"] == "pong"
+            send_ctl(sock, {"op": "shutdown"})
+            recv_ctl(sock, timeout=30.0)
+        finally:
+            sock.close()
+            thread.join(timeout=30.0)
+
+
+class TestShardedService:
+    def test_partitions_across_live_shards(self):
+        service = ShardedService(_tiny_service, shards=2)
+        try:
+            samples = _tiny_samples(6)
+            reference = _tiny_service()
+            expected = [reference.cleartext_label(s) for s in samples]
+            reference.close()
+            results = service.infer_many(samples)
+            assert [r.label for r in results] == expected
+            stats = service.stats()
+            assert stats["requests"] == 6
+            assert stats["degraded_requests"] == 0
+            assert stats["live_shards"] == 2
+            per_shard = [s["requests"] for s in stats["per_shard"]]
+            assert sorted(per_shard) == [3, 3]
+            # the rollup carries each worker service's own counters
+            assert all(
+                s["service"]["requests"] == s["requests"]
+                for s in stats["per_shard"]
+            )
+        finally:
+            service.close()
+        assert service.live_shards() == []
+
+    def test_worker_crash_degrades_to_in_process_serving(self):
+        service = ShardedService(_tiny_service, shards=2, breaker_threshold=1)
+        try:
+            victim = service._shards[1]
+            victim.process.terminate()
+            victim.process.join()
+            samples = _tiny_samples(4)
+            reference = _tiny_service()
+            expected = [reference.cleartext_label(s) for s in samples]
+            reference.close()
+            results = service.infer_many(samples)
+            # every label still correct: the dead shard's chunk rerouted
+            assert [r.label for r in results] == expected
+            stats = service.stats()
+            assert stats["degraded_requests"] == 2
+            assert stats["reroutes"] == 1
+            assert stats["live_shards"] == 1
+            assert stats["fallback"]["requests"] == 2
+            # second batch: the open breaker sends the chunk straight to
+            # the fallback without touching the dead worker
+            service.infer_many(_tiny_samples(2))
+            assert service.stats()["degraded_requests"] > 2
+        finally:
+            service.close()
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(EngineError):
+            ShardedService(_tiny_service, shards=0)

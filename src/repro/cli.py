@@ -132,7 +132,8 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
                   kdf_backend: str = "auto", pool_low_watermark=None,
                   request_timeout_s=None, max_retries: int = 0,
                   fault_specs=None, fault_seed: int = 0,
-                  transport: Optional[str] = None):
+                  transport: Optional[str] = None, shards: int = 0,
+                  max_inflight: int = 0):
     """A small trained service for the live subcommands (fast OT group)."""
     import random
 
@@ -170,6 +171,8 @@ def _demo_service(backend: str = "two_party", activation: str = "exact",
         request_timeout_s=request_timeout_s,
         max_retries=max_retries,
         fault_plan=fault_plan,
+        shards=shards,
+        max_inflight=max_inflight,
     )
     if transport is not None:
         config_kwargs["transport"] = transport
@@ -271,6 +274,8 @@ def _infer_remote(args) -> None:
 
 def _cmd_worker(args) -> None:
     """Host the evaluator side of the protocol on a TCP socket."""
+    import signal
+
     from .transport.worker import WorkerServer
 
     service, _ = _demo_service(backend="two_party",
@@ -283,19 +288,32 @@ def _cmd_worker(args) -> None:
     print(f"worker: listening on {host}:{port}", flush=True)
     if args.port_file:
         server.write_port_file(args.port_file)
+
+    def _on_sigterm(signum, frame):
+        # graceful drain: finish the in-flight ctl record, stop
+        # accepting, remove the port file (request_shutdown is
+        # signal-safe: it only sets a flag and closes the listener)
+        print("worker: SIGTERM received, draining...", flush=True)
+        server.request_shutdown()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever(once=args.once)
     finally:
+        signal.signal(signal.SIGTERM, previous)
         service.close()
     ops = ", ".join(
         f"{op}={count}" for op, count in sorted(server.counters.items())
     ) or "none"
-    print(f"worker: served {server.connections} connections ({ops}) | "
-          "clean shutdown")
+    how = "drained" if server.draining else "clean shutdown"
+    print(f"worker: served {server.connections} connections ({ops}) | {how}")
 
 
 def _serve_sharded(args) -> None:
-    """``serve --shards N``: the multi-process sharded front-end."""
+    """``serve --shards N``: the multi-process self-healing front-end."""
+    import os
+    import signal
+    import threading
     import time
 
     from .transport import ShardedService
@@ -310,26 +328,52 @@ def _serve_sharded(args) -> None:
             kdf_backend=args.kdf_backend,
             request_timeout_s=args.request_timeout,
             max_retries=args.max_retries,
+            shards=args.shards,
         )
         return service
 
     reference, x = _demo_service()
     print(reference.circuit_summary)
     sharded = ShardedService(factory, shards=args.shards,
-                             prepare=per_shard_pool)
+                             prepare=per_shard_pool,
+                             max_inflight=args.max_inflight,
+                             probe_interval_s=0.25,
+                             restart_backoff_s=0.25)
     print(f"offline phase: {args.shards} worker processes up, "
           f"{per_shard_pool} circuits pre-garbled per shard")
-    try:
-        start = time.perf_counter()
-        results = sharded.infer_many(
-            list(x[: args.requests]), max_workers=args.workers
-        )
-        wall = time.perf_counter() - start
-        expected = [reference.cleartext_label(s) for s in x[: args.requests]]
+
+    def _on_sigterm(signum, frame):
+        # graceful drain off the main thread: in-flight batches finish,
+        # new ones are refused, then the workers shut down
+        print("serve: SIGTERM received, draining...", flush=True)
+        threading.Thread(target=sharded.close, daemon=True).start()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    if args.kill_shard:
+        index_text, _, delay_text = args.kill_shard.partition(":")
+        victim_index = int(index_text)
+        delay_s = float(delay_text) if delay_text else 0.5
+        if not 0 <= victim_index < args.shards:
+            raise SystemExit(f"serve: --kill-shard index must be in "
+                             f"0..{args.shards - 1}")
+        victim_pid = sharded._shards[victim_index].process.pid
+
+        def _chaos_kill():
+            time.sleep(delay_s)
+            print(f"chaos: SIGKILL shard {victim_index} "
+                  f"(pid {victim_pid}) mid-batch", flush=True)
+            try:
+                os.kill(victim_pid, signal.SIGKILL)
+            except OSError:
+                pass
+
+        threading.Thread(target=_chaos_kill, daemon=True).start()
+
+    def _batch_report(tag, results, wall, expected):
         stats = sharded.stats()
         shard_requests = [s["requests"] for s in stats["per_shard"]]
-        print(f"served {len(results)} requests across {args.shards} shards "
-              f"in {wall:.2f} s ({len(results) / wall:.2f} req/s)")
+        print(f"{tag}served {len(results)} requests across {args.shards} "
+              f"shards in {wall:.2f} s ({len(results) / wall:.2f} req/s)")
         print(f"shards: requests per shard {shard_requests} | live "
               f"{stats['live_shards']}/{stats['shards']} | degraded "
               f"{stats['degraded_requests']} | reroutes {stats['reroutes']}")
@@ -342,17 +386,59 @@ def _serve_sharded(args) -> None:
             for s in stats["per_shard"]
         )
         print(f"resilience: retries {retries} | transient faults {faults} | "
-              f"degraded {stats['degraded_requests']}")
+              f"degraded {stats['degraded_requests']} | shed "
+              f"{stats['shed_requests']}")
         ok = [r for r in results if r.ok]
         agree = all(
             r.label == expected[i] for i, r in enumerate(results) if r.ok
         )
-        print(f"labels: {[r.label for r in results]} | "
+        print(f"{tag}labels: {[r.label for r in results]} | "
               f"failed {len(results) - len(ok)}/{len(results)} | "
               f"cleartext agreement: {'OK' if agree else 'MISMATCH'}")
+        return stats
+
+    try:
+        expected = [reference.cleartext_label(s) for s in x[: args.requests]]
+        start = time.perf_counter()
+        results = sharded.infer_many(
+            list(x[: args.requests]), max_workers=args.workers
+        )
+        wall = time.perf_counter() - start
+        stats = _batch_report("", results, wall, expected)
+        if args.kill_shard:
+            # wait for the supervisor to re-fork, rewarm and re-probe
+            # the killed worker, then prove the healed fleet serves the
+            # next batch without further degradation
+            deadline = time.monotonic() + 120.0
+            healed = False
+            while time.monotonic() < deadline:
+                stats = sharded.stats()
+                if (stats["restarts"] >= 1
+                        and stats["live_shards"] == args.shards):
+                    healed = True
+                    break
+                time.sleep(0.1)
+            print(f"supervision: restarts {stats['restarts']} | states "
+                  f"{sharded.shard_states()} | recovered: "
+                  f"{'OK' if healed else 'TIMEOUT'}")
+            degraded_before = stats["degraded_requests"]
+            start = time.perf_counter()
+            results = sharded.infer_many(
+                list(x[: args.requests]), max_workers=args.workers
+            )
+            wall = time.perf_counter() - start
+            stats = _batch_report("post-restart ", results, wall, expected)
+            delta = stats["degraded_requests"] - degraded_before
+            verdict = "OK" if delta == 0 else "STILL DEGRADED"
+            print(f"post-restart degraded delta: {delta} | restarted shard "
+                  f"back in rotation: {verdict}")
     finally:
+        signal.signal(signal.SIGTERM, previous)
         sharded.close()
         reference.close()
+        final = sharded.stats()
+        print(f"drain: drained {final['drained_requests']} | aborted "
+              f"{final['aborted_requests']} | restarts {final['restarts']}")
 
 
 def _cmd_serve(args) -> None:
@@ -369,6 +455,10 @@ def _cmd_serve(args) -> None:
                          "(demo dataset size)")
     if args.shards < 0:
         raise SystemExit("serve: --shards must be >= 0")
+    if args.max_inflight < 0:
+        raise SystemExit("serve: --max-inflight must be >= 0")
+    if args.kill_shard and not args.shards:
+        raise SystemExit("serve: --kill-shard requires --shards")
     if args.shards:
         if args.fault:
             raise SystemExit("serve: --fault applies to single-process "
@@ -386,8 +476,17 @@ def _cmd_serve(args) -> None:
         max_retries=args.max_retries,
         fault_specs=args.fault, fault_seed=args.fault_seed,
         transport=args.transport,
+        max_inflight=args.max_inflight,
     )
     pool = service.pool
+    import signal
+    import threading
+
+    def _on_sigterm(signum, frame):
+        print("serve: SIGTERM received, draining...", flush=True)
+        threading.Thread(target=service.close, daemon=True).start()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     print(service.circuit_summary)
     if pool_size > 0:
         warmed = service.prepare()
@@ -429,7 +528,9 @@ def _cmd_serve(args) -> None:
     )
     print(f"resilience: retries {stats['retries']} | transient faults "
           f"{stats['transient_faults']} | degraded {stats['degraded']} | "
-          f"breakers open {open_breakers}/{len(breakers) or 1}")
+          f"breakers open {open_breakers}/{len(breakers) or 1} | shed "
+          f"{stats['shed_requests']} (max inflight "
+          f"{stats['max_inflight'] or 'unbounded'})")
     if "faults" in stats:
         fp = stats["faults"]
         fired = ", ".join(
@@ -446,7 +547,11 @@ def _cmd_serve(args) -> None:
     if failed:
         kinds = sorted({f"{r.error_type}/{r.error_category}" for r in failed})
         print(f"failures: {', '.join(kinds)}")
+    signal.signal(signal.SIGTERM, previous)
     service.close()
+    final = service.stats
+    print(f"drain: drained {final['drained_requests']} | aborted "
+          f"{final['aborted_requests']}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -588,6 +693,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="partition the batch across this many worker "
                             "processes, each with its own pre-garbled "
                             "pool shard (0 = single process)")
+    serve.add_argument("--max-inflight", type=int, default=0,
+                       help="admission-control budget: shed requests with "
+                            "ServiceOverloadedError once this many are "
+                            "in flight (0 = unbounded)")
+    serve.add_argument("--kill-shard", default=None, metavar="INDEX[:DELAY]",
+                       help="chaos: SIGKILL the given shard worker DELAY "
+                            "seconds (default 0.5) into the first batch, "
+                            "then prove the supervisor heals it "
+                            "(requires --shards)")
     serve.set_defaults(func=_cmd_serve)
     return parser
 

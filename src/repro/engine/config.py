@@ -104,9 +104,16 @@ class EngineConfig:
             so whole suites switch transports without code changes.
         shards: worker-process count for
             :class:`repro.transport.ShardedService` front-ends (0 =
-            single-process serving; the service object itself ignores
-            this — it is a front-end/CLI knob carried with the rest of
-            the serving configuration).
+            single-process serving).  Also read by
+            :meth:`effective_kdf`: with ``kdf_workers=0`` (host cores)
+            and ``shards > 0``, each shard's service claims its
+            ``1/shards`` share of the cores instead of every worker
+            process oversubscribing the whole host.
+        max_inflight: bound on concurrently admitted requests (0 =
+            unbounded).  When the budget is full, new work is shed with
+            the typed permanent
+            :class:`repro.errors.ServiceOverloadedError` instead of
+            queueing without bound.
     """
 
     fmt: FixedPointFormat = DEFAULT_FORMAT
@@ -135,6 +142,7 @@ class EngineConfig:
         default_factory=lambda: os.environ.get("REPRO_TRANSPORT", "memory")
     )
     shards: int = 0
+    max_inflight: int = 0
 
     def __post_init__(self) -> None:
         from .backends import available_backends
@@ -197,6 +205,8 @@ class EngineConfig:
             )
         if self.shards < 0:
             raise EngineError("shards must be >= 0 (0 = single process)")
+        if self.max_inflight < 0:
+            raise EngineError("max_inflight must be >= 0 (0 = unbounded)")
 
     def effective_kdf(self) -> Optional[HashKDF]:
         """The garbling oracle with ``kdf_backend``/``kdf_workers`` applied.
@@ -214,7 +224,13 @@ class EngineConfig:
         """
         from ..gc.cipher import ParallelKDF, resolve_kdf_backend
 
-        workers = self.kdf_workers or (os.cpu_count() or 1)
+        workers = self.kdf_workers
+        if workers == 0:
+            # "host cores", divided across shard processes: N sharded
+            # workers each running host-cores KDF threads would
+            # oversubscribe the machine N-fold, so a sharded config
+            # claims its fair 1/shards slice (at least one thread)
+            workers = max(1, (os.cpu_count() or 1) // max(1, self.shards or 1))
         kdf = self.kdf
         if kdf is None and self.kdf_backend != "hashlib":
             # "hashlib" keeps the seed behavior (None -> default_kdf());

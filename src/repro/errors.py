@@ -93,6 +93,24 @@ class EngineError(ReproError):
     """Raised by the unified execution engine (bad backend, bad options)."""
 
 
+class ServiceOverloadedError(EngineError):
+    """Raised when admission control sheds a request (in-flight budget full).
+
+    Overload is *permanent* under the retry taxonomy: retrying an
+    overloaded service from inside the service only deepens the
+    overload, so ``RetryPolicy`` never retries it — the caller backs
+    off or routes elsewhere.
+    """
+
+
+class ServiceDrainingError(EngineError):
+    """Raised when a request arrives after ``close()`` began draining.
+
+    A draining service finishes in-flight work but admits nothing new;
+    permanent under the retry taxonomy (the service is going away).
+    """
+
+
 class BatchInferenceError(EngineError):
     """Raised after a concurrent batch finishes with per-request failures.
 

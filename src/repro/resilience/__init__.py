@@ -12,6 +12,12 @@ wrong label, never a silent hang.
 """
 
 from .breaker import CircuitBreaker
+from .bytefaults import (
+    STREAM_FAULT_KINDS,
+    FaultyStream,
+    StreamFaultPlan,
+    StreamFaultSpec,
+)
 from .deadline import Deadline
 from .faults import (
     FAULT_KINDS,
@@ -24,13 +30,17 @@ from .retry import TRANSIENT_ERRORS, RetryPolicy, fault_category, is_transient
 
 __all__ = [
     "FAULT_KINDS",
+    "STREAM_FAULT_KINDS",
     "TRANSIENT_ERRORS",
     "CircuitBreaker",
     "Deadline",
     "FaultPlan",
     "FaultSpec",
     "FaultyChannel",
+    "FaultyStream",
     "RetryPolicy",
+    "StreamFaultPlan",
+    "StreamFaultSpec",
     "fault_category",
     "faulty_channel_factory",
     "is_transient",

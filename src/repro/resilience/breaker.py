@@ -89,6 +89,22 @@ class CircuitBreaker:
                 return True
             return False
 
+    def trip(self) -> None:
+        """Force the breaker open immediately (supervisor override).
+
+        Used when an out-of-band signal — a dead worker process — proves
+        the backend unusable without waiting for ``threshold`` request
+        failures to accumulate.  The normal cooldown / half-open probe
+        path applies afterwards.
+        """
+        with self._lock:
+            if self._state != "open":
+                self._trips += 1
+            self._failures = max(self._failures, self.threshold)
+            self._state = "open"
+            self._opened_at = self._clock()
+            self._probing = False
+
     def record_success(self) -> None:
         """Report a successful call: closes the breaker, resets counts."""
         with self._lock:

@@ -36,7 +36,12 @@ from .compile.compiler import CompiledModel, CompileOptions, compile_model
 from .compile.costmodel import CostBreakdown, GCCostModel
 from .engine import Backend, EngineConfig, PregarbledPool, get_backend
 from .engine.result import ExecutionResult
-from .errors import BatchInferenceError, CompileError
+from .errors import (
+    BatchInferenceError,
+    CompileError,
+    ServiceDrainingError,
+    ServiceOverloadedError,
+)
 from .gc.channel import make_channel_pair
 from .gc.cipher import HashKDF, default_kdf
 from .gc.ot import OTGroup
@@ -188,6 +193,12 @@ class PrivateInferenceService:
         )
         self._backends: Dict[str, Backend] = {}
         self._lock = threading.Lock()
+        # admission control + graceful drain: a bounded in-flight budget
+        # sheds overload with a typed permanent error, and close() waits
+        # for admitted work to finish before tearing the pool down
+        self._cond = threading.Condition(self._lock)
+        self._inflight = 0
+        self._closing = False
         # transport + resilience wiring: the channel factory decides how
         # frames move (in-memory deques or the wire codec over kernel
         # socketpairs) and injects the configured fault plan into every
@@ -226,6 +237,9 @@ class PrivateInferenceService:
             "retries": 0,
             "transient_faults": 0,
             "degraded": 0,
+            "shed_requests": 0,
+            "drained_requests": 0,
+            "aborted_requests": 0,
             "by_backend": {},
         }
         # the pool is created at its configured capacity but stays cold:
@@ -320,6 +334,9 @@ class PrivateInferenceService:
         with self._lock:
             snapshot: Dict[str, object] = dict(self._stats)
             snapshot["by_backend"] = dict(self._stats["by_backend"])
+            snapshot["inflight"] = self._inflight
+            snapshot["max_inflight"] = self.config.max_inflight
+            snapshot["draining"] = self._closing
             breakers = dict(self._breakers)
             pool = self._pool
         # pool and breakers take their own locks; call outside ours
@@ -333,9 +350,60 @@ class PrivateInferenceService:
             snapshot["pool"] = pool.stats()
         return snapshot
 
-    def close(self) -> None:
-        """Release serving resources (stops any background pool refill)."""
+    def _admit(self, n: int) -> None:
+        """Admit ``n`` requests against the in-flight budget, or shed them.
+
+        Raises:
+            ServiceDrainingError: :meth:`close` has begun.
+            ServiceOverloadedError: the budget is full (permanent under
+                the retry taxonomy — retrying into overload only deepens
+                it).
+        """
+        limit = self.config.max_inflight
         with self._lock:
+            if self._closing:
+                raise ServiceDrainingError(
+                    "service is draining: close() has begun and no new "
+                    "requests are admitted"
+                )
+            if limit and self._inflight + n > limit:
+                self._stats["shed_requests"] += n
+                raise ServiceOverloadedError(
+                    f"in-flight budget full: {self._inflight} admitted + "
+                    f"{n} requested > max_inflight={limit}; shedding"
+                )
+            self._inflight += n
+
+    def _release(self, n: int) -> None:
+        """Return ``n`` admission slots and wake any waiting drain."""
+        with self._lock:
+            self._inflight -= n
+            self._cond.notify_all()
+
+    def close(self, drain_timeout_s: float = 30.0) -> None:
+        """Drain in-flight requests, then release serving resources.
+
+        New requests are refused the moment draining begins
+        (:class:`~repro.errors.ServiceDrainingError`); admitted ones get
+        up to ``drain_timeout_s`` to finish.  Requests that finished
+        during the wait count as ``drained_requests``, any still running
+        when the grace expires as ``aborted_requests``.  Idempotent.
+        """
+        import time
+
+        with self._lock:
+            already = self._closing
+            self._closing = True
+            pending = self._inflight
+            if not already:
+                deadline = time.monotonic() + max(drain_timeout_s, 0.0)
+                while self._inflight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                self._stats["drained_requests"] += pending - self._inflight
+                self._stats["aborted_requests"] += self._inflight
             pool = self._pool
         if pool is not None:
             pool.close()
@@ -464,6 +532,11 @@ class PrivateInferenceService:
     def execute(self, request: InferenceRequest) -> InferenceResult:
         """Serve one typed request through the configured engine.
 
+        Admission first: a full in-flight budget sheds the request with
+        the permanent :class:`~repro.errors.ServiceOverloadedError`, and
+        a draining service refuses it
+        (:class:`~repro.errors.ServiceDrainingError`).
+
         Resilience path: transient wire faults (corruption, drops,
         expired deadlines) retry up to ``EngineConfig.max_retries``
         times with backoff — each attempt builds a fresh channel pair
@@ -477,6 +550,14 @@ class PrivateInferenceService:
         shared history/stats mutation happens under the service lock
         (the protocol execution itself stays outside it).
         """
+        self._admit(1)
+        try:
+            return self._execute_one(request)
+        finally:
+            self._release(1)
+
+    def _execute_one(self, request: InferenceRequest) -> InferenceResult:
+        """The :meth:`execute` body, after admission accepted the request."""
         backend_name = request.backend or self.config.backend
         try:
             sample = np.asarray(request.sample)
@@ -670,36 +751,42 @@ class PrivateInferenceService:
         ]
         if not normalized:
             return []
+        # the batch admits as one group: either every request gets a
+        # slot or the whole batch is shed/refused (no partial admission,
+        # so a shed batch never half-serves)
+        self._admit(len(normalized))
+        try:
+            outcomes: List[Optional[InferenceResult]] = [None] * len(normalized)
+            errors: List[tuple] = []
+            if batch is False:
+                pending = list(range(len(normalized)))
+            else:
+                pending = self._infer_batched(
+                    normalized, outcomes, errors, force=bool(batch)
+                )
 
-        outcomes: List[Optional[InferenceResult]] = [None] * len(normalized)
-        errors: List[tuple] = []
-        if batch is False:
-            pending = list(range(len(normalized)))
-        else:
-            pending = self._infer_batched(
-                normalized, outcomes, errors, force=bool(batch)
-            )
+            workers = max(1, min(max_workers, len(pending) or 1))
 
-        workers = max(1, min(max_workers, len(pending) or 1))
+            def run_one(index: int, request: InferenceRequest) -> None:
+                try:
+                    outcomes[index] = self._execute_one(request)
+                except Exception as exc:
+                    errors.append((index, exc))
 
-        def run_one(index: int, request: InferenceRequest) -> None:
-            try:
-                outcomes[index] = self.execute(request)
-            except Exception as exc:
-                errors.append((index, exc))
-
-        if workers == 1:
-            for index in pending:
-                run_one(index, normalized[index])
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as executor:
-                futures = [
-                    executor.submit(run_one, index, normalized[index])
-                    for index in pending
-                ]
-                for future in futures:
-                    future.result()  # run_one never raises; this rejoins
-        errors.sort(key=lambda pair: pair[0])
+            if workers == 1:
+                for index in pending:
+                    run_one(index, normalized[index])
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as executor:
+                    futures = [
+                        executor.submit(run_one, index, normalized[index])
+                        for index in pending
+                    ]
+                    for future in futures:
+                        future.result()  # run_one never raises; this rejoins
+            errors.sort(key=lambda pair: pair[0])
+        finally:
+            self._release(len(normalized))
 
         if errors and not return_errors:
             raise BatchInferenceError(

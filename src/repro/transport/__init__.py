@@ -33,6 +33,7 @@ transient :class:`repro.errors.ChannelClosedError`, timeouts as
 from .peer import peer_channel_factory, run_folded_peer, run_two_party_peer
 from .sharded import ShardedService
 from .socket_channel import SocketChannel, socketpair_channel_factory
+from .supervisor import ShardSupervisor
 from .wire import (
     HEADER_SIZE,
     MAGIC,
@@ -52,6 +53,7 @@ __all__ = [
     "MAX_PAYLOAD_BYTES",
     "MAX_TAG_BYTES",
     "FrameDecoder",
+    "ShardSupervisor",
     "ShardedService",
     "checksummed",
     "SocketChannel",

@@ -277,6 +277,7 @@ class SocketChannel(Channel):
 def socketpair_channel_factory(
     io_timeout_s: float = DEFAULT_IO_TIMEOUT_S,
     max_payload: int = MAX_PAYLOAD_BYTES,
+    stream_wrap: Optional[Callable[[socket.socket], socket.socket]] = None,
 ) -> Callable[[], Tuple[Channel, Channel, ChannelStats]]:
     """A ``make_channel_pair``-compatible factory over kernel socketpairs.
 
@@ -285,10 +286,19 @@ def socketpair_channel_factory(
     every frame round-trips through :func:`~repro.transport.wire.encode_frame`
     and a real ``socket.socketpair()`` — the configuration behind
     ``EngineConfig(transport="socket")`` and ``REPRO_TRANSPORT=socket``.
+
+    Args:
+        stream_wrap: optional socket wrapper applied to both endpoints —
+            the seam for byte-level chaos
+            (:meth:`repro.resilience.StreamFaultPlan.wrap` pushes whole
+            sessions through a :class:`~repro.resilience.FaultyStream`).
     """
 
     def factory() -> Tuple[Channel, Channel, ChannelStats]:
         left, right = socket.socketpair()
+        if stream_wrap is not None:
+            left = stream_wrap(left)
+            right = stream_wrap(right)
         stats = ChannelStats()
         alice = SocketChannel(
             left, "a2b", stats=stats,

@@ -40,9 +40,11 @@ records as :class:`repro.errors.ChannelIntegrityError`.
 from __future__ import annotations
 
 import json
+import os
 import socket
+import threading
 import zlib
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..errors import ChannelClosedError, ChannelEmptyError, ChannelIntegrityError
 from .wire import checksummed, encode_frame, read_frame
@@ -231,37 +233,82 @@ def _handle_infer(sock: socket.socket, service: Any, record: Dict[str, Any]) -> 
     )
 
 
-def serve_connection(sock: socket.socket, service: Any) -> Dict[str, int]:
+def serve_connection(
+    sock: socket.socket,
+    service: Any,
+    should_stop: Optional[Callable[[], bool]] = None,
+    poll_interval_s: float = 0.25,
+) -> Dict[str, int]:
     """Serve control records on ``sock`` until shutdown or disconnect.
 
+    An in-flight record is always finished before the loop re-checks
+    anything — the drain guarantee: no request is dropped mid-handling.
+    A malformed record (:class:`~repro.errors.ChannelIntegrityError`)
+    drops *this connection* — framing sync with the peer is gone — but
+    never the server; a handler exception is reported to the peer as an
+    ``{"ok": False}`` reply and serving continues.
+
+    Args:
+        should_stop: optional drain signal, checked between records
+            (the loop polls ``recv_ctl`` with ``poll_interval_s`` so an
+            idle connection notices the signal promptly).
+
     Returns per-operation counters (``{"peer": 2, "infer": 1, ...}``)
-    for operator output.
+    plus ``integrity_errors`` / ``op_errors`` for operator output.
     """
     counters: Dict[str, int] = {}
     while True:
+        if should_stop is not None and should_stop():
+            break
         try:
-            record = recv_ctl(sock)
+            record = recv_ctl(
+                sock, timeout=poll_interval_s if should_stop is not None else None
+            )
+        except ChannelEmptyError:
+            continue  # idle poll tick: re-check the drain signal
         except ChannelClosedError:
             break  # caller went away: a clean end of this connection
+        except ChannelIntegrityError:
+            # mid-record disconnects and garbage bytes desync the frame
+            # stream: drop the connection, keep the server alive
+            counters["integrity_errors"] = counters.get("integrity_errors", 0) + 1
+            break
         op = str(record.get("op", ""))
         counters[op] = counters.get(op, 0) + 1
-        if op == "ping":
-            send_ctl(sock, {"ok": True, "op": "pong"})
-        elif op == "peer":
-            _handle_peer(sock, service, record)
-        elif op == "infer":
-            _handle_infer(sock, service, record)
-        elif op == "prepare":
-            count = record.get("count")
-            warmed = service.prepare(int(count) if count is not None else None)
-            send_ctl(sock, {"ok": True, "op": "prepare", "warmed": warmed})
-        elif op == "stats":
-            send_ctl(sock, {"ok": True, "op": "stats", "stats": service.stats})
-        elif op == "shutdown":
-            send_ctl(sock, {"ok": True, "op": "shutdown"})
-            break
-        else:
-            send_ctl(sock, {"ok": False, "error": f"unknown op {op!r}"})
+        try:
+            if op == "ping":
+                send_ctl(sock, {"ok": True, "op": "pong"})
+            elif op == "peer":
+                _handle_peer(sock, service, record)
+            elif op == "infer":
+                _handle_infer(sock, service, record)
+            elif op == "prepare":
+                count = record.get("count")
+                warmed = service.prepare(int(count) if count is not None else None)
+                send_ctl(sock, {"ok": True, "op": "prepare", "warmed": warmed})
+            elif op == "stats":
+                send_ctl(sock, {"ok": True, "op": "stats", "stats": service.stats})
+            elif op == "shutdown":
+                send_ctl(sock, {"ok": True, "op": "shutdown"})
+                break
+            else:
+                send_ctl(sock, {"ok": False, "error": f"unknown op {op!r}"})
+        except ChannelClosedError:
+            break  # peer vanished mid-reply
+        except Exception as exc:  # noqa: B902 - a handler bug must not kill the host
+            counters["op_errors"] = counters.get("op_errors", 0) + 1
+            try:
+                send_ctl(
+                    sock,
+                    {
+                        "ok": False,
+                        "op": op,
+                        "error": str(exc),
+                        "error_type": type(exc).__name__,
+                    },
+                )
+            except ChannelClosedError:
+                break
     return counters
 
 
@@ -284,25 +331,64 @@ class WorkerServer:
         self.address = self._listener.getsockname()
         self.counters: Dict[str, int] = {}
         self.connections = 0
+        self._draining = threading.Event()
+        self._port_file: Optional[str] = None
 
     def write_port_file(self, path: str) -> None:
-        """Publish ``host port`` for a front-end process to discover."""
+        """Publish ``host port`` for a front-end process to discover.
+
+        The file is the worker's liveness token: :meth:`close` removes
+        it again so a stale path never points at a dead worker.
+        """
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(f"{self.address[0]} {self.address[1]}\n")
+        self._port_file = path
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`request_shutdown` has been called."""
+        return self._draining.is_set()
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (signal-safe; callable from SIGTERM).
+
+        Sets the drain flag — the connection loop finishes its in-flight
+        record, then stops — and shuts the listener down so a blocked
+        ``accept`` wakes immediately instead of waiting for a client
+        (closing the fd alone does not interrupt an accept already
+        parked in the syscall).
+        """
+        self._draining.set()
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # not listening yet / already closed: nothing to wake
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
 
     def serve_forever(self, once: bool = False) -> None:
-        """Accept and serve connections until a ``shutdown`` record.
+        """Accept and serve connections until shutdown or drain.
 
-        Args:
-            once: stop after the first connection ends (with or without
-                an explicit shutdown) — the CI smoke-test mode.
+        Stops on an explicit ``shutdown`` record, after the first
+        connection when ``once`` is set (the CI smoke-test mode), or
+        when :meth:`request_shutdown` fires — in-flight records always
+        finish first.
         """
         try:
-            while True:
-                conn, _ = self._listener.accept()
+            while not self._draining.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except OSError:
+                    if self._draining.is_set():
+                        break  # listener closed by request_shutdown
+                    raise
                 self.connections += 1
                 try:
-                    served = serve_connection(conn, self._service)
+                    served = serve_connection(
+                        conn, self._service, should_stop=self._draining.is_set
+                    )
                 finally:
                     conn.close()
                 for op, count in served.items():
@@ -313,8 +399,14 @@ class WorkerServer:
             self.close()
 
     def close(self) -> None:
-        """Stop listening (idempotent)."""
+        """Stop listening and remove the port file (idempotent)."""
         try:
             self._listener.close()
         except OSError:  # pragma: no cover - already closed
             pass
+        if self._port_file is not None:
+            try:
+                os.unlink(self._port_file)
+            except OSError:
+                pass
+            self._port_file = None

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import random
+import socket
 import threading
 import time
 
@@ -25,13 +26,17 @@ import pytest
 from repro.circuits import CircuitBuilder, FixedPointFormat, simulate
 from repro.engine import EngineConfig, PregarbledPool, get_backend
 from repro.errors import (
+    ChannelClosedError,
     ChannelEmptyError,
     ChannelIntegrityError,
     CompileError,
     DeadlineExceeded,
     EngineError,
     ReproError,
+    ServiceDrainingError,
+    ServiceOverloadedError,
 )
+from repro.gc import TwoPartySession
 from repro.gc.channel import make_channel_pair
 from repro.gc.ot import TEST_GROUP_512
 from repro.nn import Dense, Sequential, Tanh, TrainConfig, Trainer
@@ -42,10 +47,14 @@ from repro.resilience import (
     FaultPlan,
     FaultSpec,
     RetryPolicy,
+    StreamFaultPlan,
+    StreamFaultSpec,
     fault_category,
     faulty_channel_factory,
     is_transient,
 )
+from repro.transport import SocketChannel, socketpair_channel_factory
+from repro.transport.worker import recv_ctl, send_ctl
 from repro.service import PrivateInferenceService
 
 #: Chaos randomness seed — CI's chaos job sweeps several values.
@@ -576,5 +585,310 @@ class TestServiceResilience:
             (result,) = service.infer_many([x[0]], return_errors=True)
             assert result.error_type == "DeadlineExceeded"
             assert result.error_category == "transient"
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# byte-level chaos: faults below the frame layer
+# ---------------------------------------------------------------------------
+
+
+class TestStreamFaultSpecs:
+    def test_parse_round_trips(self):
+        spec = StreamFaultSpec.parse("short_read:2:3")
+        assert (spec.kind, spec.nth, spec.size) == ("short_read", 2, 3)
+        assert spec.describe() == "short_read:2:3"
+        stall = StreamFaultSpec.parse("stall:1:0.5")
+        assert (stall.nth, stall.stall_s) == (1, 0.5)
+        assert StreamFaultSpec.parse("disconnect").nth == 0
+
+    def test_validation(self):
+        with pytest.raises(EngineError, match="unknown stream fault"):
+            StreamFaultSpec("gremlins")
+        with pytest.raises(EngineError, match="nth"):
+            StreamFaultSpec("short_read", nth=-1)
+        with pytest.raises(EngineError, match="stall_s"):
+            StreamFaultSpec("stall")
+        with pytest.raises(EngineError, match="stall_s"):
+            StreamFaultSpec("short_read", stall_s=1.0)
+        with pytest.raises(EngineError, match="int"):
+            StreamFaultSpec.parse("stall:x")
+
+    def test_seeded_cut_points_are_deterministic(self):
+        cuts = []
+        for _ in range(2):
+            plan = StreamFaultPlan(
+                [StreamFaultSpec("partial_write", nth=0)], seed=CHAOS_SEED
+            )
+            cuts.append(plan.on_write(1000))
+        assert cuts[0] == cuts[1]
+        assert 1 <= cuts[0] < 1000  # strictly inside the buffer
+
+
+def _remote_channel_pair(plan, wrap, io_timeout_s=5.0):
+    """A remote-mode SocketChannel pair with one faulted endpoint."""
+    left, right = socket.socketpair()
+    if wrap == "sender":
+        left = plan.wrap(left)
+    else:
+        right = plan.wrap(right)
+    alice = SocketChannel(left, "a2b", io_timeout_s=io_timeout_s)
+    bob = SocketChannel(right, "b2a", io_timeout_s=io_timeout_s)
+    return alice, bob
+
+
+class TestByteFaultsOnSocketChannel:
+    def test_short_reads_reassemble_the_frame(self):
+        # a trickling peer: every recv returns at most 3 bytes, and
+        # read_frame's short-read loop must still reassemble the frame
+        plan = StreamFaultPlan(
+            [StreamFaultSpec("short_read", nth=0, size=3)], seed=CHAOS_SEED
+        )
+        alice, bob = _remote_channel_pair(plan, wrap="receiver")
+        try:
+            payload = bytes(range(256)) * 3
+            alice.send_bytes(payload, tag="labels")
+            assert bob.recv_bytes(expected_tag="labels") == payload
+            # the cap forced byte-dribble reassembly, not one big recv
+            assert plan.stats()["reads"] > len(payload) // 3
+        finally:
+            alice.close()
+            bob.close()
+
+    def test_partial_write_surfaces_typed_close_on_both_ends(self):
+        plan = StreamFaultPlan(
+            [StreamFaultSpec("partial_write", nth=0)], seed=CHAOS_SEED
+        )
+        alice, bob = _remote_channel_pair(plan, wrap="sender")
+        try:
+            # the sender's frame is cut mid-write: typed transient error
+            with pytest.raises(ChannelClosedError) as sender_exc:
+                alice.send_bytes(b"x" * 512, tag="tables")
+            assert is_transient(sender_exc.value)
+            # the receiver observes a torn frame: mid-frame EOF, never a
+            # parsed-garbage frame
+            with pytest.raises(ChannelClosedError) as receiver_exc:
+                bob.recv_bytes()
+            assert is_transient(receiver_exc.value)
+            assert plan.applied == [("partial_write", 0)]
+        finally:
+            alice.close()
+            bob.close()
+
+    def test_disconnect_mid_stream_is_channel_closed(self):
+        plan = StreamFaultPlan(
+            [StreamFaultSpec("disconnect", nth=0)], seed=CHAOS_SEED
+        )
+        alice, bob = _remote_channel_pair(plan, wrap="receiver")
+        try:
+            alice.send_bytes(b"payload", tag="t")
+            with pytest.raises(ChannelClosedError):
+                bob.recv_bytes()
+        finally:
+            alice.close()
+            bob.close()
+
+    def test_stalled_peer_times_out_within_io_budget(self):
+        plan = StreamFaultPlan(
+            [StreamFaultSpec("stall", nth=0, stall_s=30.0)], seed=CHAOS_SEED
+        )
+        alice, bob = _remote_channel_pair(plan, wrap="receiver",
+                                          io_timeout_s=0.3)
+        try:
+            start = time.monotonic()
+            with pytest.raises(ChannelEmptyError):
+                bob.recv_bytes()
+            # the 30 s stall was bounded by the 0.3 s socket timeout
+            assert time.monotonic() - start < 5.0
+        finally:
+            alice.close()
+            bob.close()
+
+    def test_session_survives_short_reads_bit_exactly(self):
+        # byte-dribble every socket of a whole garbled session: the
+        # protocol output must be identical to the in-memory run
+        circuit = small_circuit(seed=CHAOS_SEED)
+        rng = random.Random(CHAOS_SEED)
+        a = [rng.randrange(2) for _ in range(4)]
+        b = [rng.randrange(2) for _ in range(4)]
+        plan = StreamFaultPlan(
+            [StreamFaultSpec("short_read", nth=0, size=7)], seed=CHAOS_SEED
+        )
+        result = TwoPartySession(
+            circuit, ot_group=TEST_GROUP_512, rng=random.Random(5),
+            channel_factory=socketpair_channel_factory(
+                stream_wrap=plan.wrap
+            ),
+        ).run(a, b)
+        assert result.outputs == simulate(circuit, a, b)
+        assert plan.stats()["reads"] > 0
+
+
+class TestByteFaultsOnCtlProtocol:
+    def test_short_reads_reassemble_the_record(self):
+        plan = StreamFaultPlan(
+            [StreamFaultSpec("short_read", nth=0, size=2)], seed=CHAOS_SEED
+        )
+        left, right = socket.socketpair()
+        wrapped = plan.wrap(right)
+        try:
+            send_ctl(left, {"op": "infer", "samples": [[0.5] * 16]})
+            record = recv_ctl(wrapped, timeout=10.0)
+            assert record["op"] == "infer"
+            assert record["samples"] == [[0.5] * 16]
+        finally:
+            left.close()
+            wrapped.close()
+
+    def test_partial_write_maps_to_typed_errors(self):
+        plan = StreamFaultPlan(
+            [StreamFaultSpec("partial_write", nth=0)], seed=CHAOS_SEED
+        )
+        left, right = socket.socketpair()
+        wrapped = plan.wrap(left)
+        try:
+            with pytest.raises(ChannelClosedError):
+                send_ctl(wrapped, {"op": "ping", "pad": "x" * 256})
+            # the receiver sees EOF mid-record: transient, never garbage
+            with pytest.raises(ChannelClosedError) as exc:
+                recv_ctl(right, timeout=5.0)
+            assert is_transient(exc.value)
+        finally:
+            wrapped.close()
+            right.close()
+
+    def test_mid_record_disconnect_is_channel_closed(self):
+        plan = StreamFaultPlan(
+            [StreamFaultSpec("disconnect", nth=1)], seed=CHAOS_SEED
+        )
+        left, right = socket.socketpair()
+        wrapped = plan.wrap(right)
+        try:
+            send_ctl(left, {"op": "ping"})
+            # read 0 passes (header), read 1 hits the injected EOF
+            with pytest.raises(ChannelClosedError):
+                recv_ctl(wrapped, timeout=5.0)
+        finally:
+            left.close()
+            wrapped.close()
+
+    def test_stalled_ctl_read_honors_the_poll_timeout(self):
+        plan = StreamFaultPlan(
+            [StreamFaultSpec("stall", nth=0, stall_s=30.0)], seed=CHAOS_SEED
+        )
+        left, right = socket.socketpair()
+        wrapped = plan.wrap(right)
+        try:
+            start = time.monotonic()
+            with pytest.raises(ChannelEmptyError):
+                recv_ctl(wrapped, timeout=0.3)
+            assert time.monotonic() - start < 5.0
+        finally:
+            left.close()
+            wrapped.close()
+
+
+class TestBreakerTrip:
+    def test_trip_forces_open_then_normal_recovery(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=3, cooldown_s=10.0, clock=lambda: clock[0]
+        )
+        assert breaker.allow()
+        breaker.trip()
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.stats()["trips"] == 1
+        breaker.trip()  # already open: no double-counted trip
+        assert breaker.stats()["trips"] == 1
+        # the usual cooldown -> half-open -> probe -> closed cycle applies
+        clock[0] = 10.1
+        assert breaker.state == "half-open"
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+
+# ---------------------------------------------------------------------------
+# admission control + graceful drain (single-process service)
+# ---------------------------------------------------------------------------
+
+
+class TestServiceAdmissionAndDrain:
+    def test_overload_errors_are_permanent_and_never_retried(self):
+        for error in (ServiceOverloadedError("x"), ServiceDrainingError("x")):
+            assert fault_category(error) == "permanent"
+            assert not is_transient(error)
+        policy = RetryPolicy(max_retries=5, backoff_s=0.0)
+        calls = []
+
+        def shed():
+            calls.append(1)
+            raise ServiceOverloadedError("budget full")
+
+        with pytest.raises(ServiceOverloadedError):
+            policy.call(shed)
+        assert len(calls) == 1  # shed work is never retried
+
+    def test_full_budget_sheds_with_typed_error(self):
+        service, x = _trained_service(max_inflight=1)
+        try:
+            service._admit(1)  # occupy the whole budget
+            with pytest.raises(ServiceOverloadedError):
+                service.infer(x[0])
+            assert service.stats["shed_requests"] == 1
+            assert service.stats["inflight"] == 1
+            service._release(1)
+            # budget free again: the same request is admitted and served
+            record = service.infer(x[0])
+            assert record.ok
+            assert service.stats["inflight"] == 0
+        finally:
+            service.close()
+
+    def test_close_drains_inflight_then_refuses_new_work(self):
+        service, x = _trained_service()
+        box = []
+        thread = threading.Thread(
+            target=lambda: box.append(service.infer(x[0]))
+        )
+        thread.start()
+        assert _wait_until(lambda: service.stats["inflight"] == 1)
+        service.close(drain_timeout_s=60.0)
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert box and box[0].ok
+        stats = service.stats
+        assert stats["drained_requests"] == 1
+        assert stats["aborted_requests"] == 0
+        assert stats["draining"] is True
+        with pytest.raises(ServiceDrainingError):
+            service.infer(x[1])
+        service.close()  # idempotent
+
+    def test_expired_grace_counts_aborted_requests(self):
+        service, x = _trained_service()
+        thread = threading.Thread(target=lambda: service.infer(x[0]))
+        thread.start()
+        assert _wait_until(lambda: service.stats["inflight"] == 1)
+        service.close(drain_timeout_s=0.0)
+        assert service.stats["aborted_requests"] == 1
+        assert service.stats["drained_requests"] == 0
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+
+    def test_whole_batch_admission_is_all_or_nothing(self):
+        service, x = _trained_service(max_inflight=2)
+        try:
+            service._admit(1)
+            # a 2-request batch cannot fit in the remaining budget: the
+            # whole batch is shed, nothing partially admitted
+            with pytest.raises(ServiceOverloadedError):
+                service.infer_many(list(x[:2]))
+            assert service.stats["shed_requests"] == 2
+            assert service.stats["inflight"] == 1
+            service._release(1)
+            results = service.infer_many(list(x[:2]), return_errors=True)
+            assert all(r.ok for r in results)
         finally:
             service.close()

@@ -3,9 +3,12 @@ worker protocol and the process-sharded front-end."""
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import socket
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -20,6 +23,8 @@ from repro.errors import (
     ChannelEmptyError,
     ChannelIntegrityError,
     EngineError,
+    ServiceDrainingError,
+    ServiceOverloadedError,
 )
 from repro.gc import SequentialSession, TwoPartySession
 from repro.gc.channel import Frame, default_channel_factory, make_channel_pair
@@ -32,6 +37,7 @@ from repro.transport import (
     MAX_TAG_BYTES,
     FrameDecoder,
     ShardedService,
+    ShardSupervisor,
     decode_frame,
     encode_frame,
     socketpair_channel_factory,
@@ -593,7 +599,10 @@ class TestShardedService:
         assert service.live_shards() == []
 
     def test_worker_crash_degrades_to_in_process_serving(self):
-        service = ShardedService(_tiny_service, shards=2, breaker_threshold=1)
+        # supervise=False: this test pins the *unsupervised* degraded
+        # path; the healing path has its own tests below
+        service = ShardedService(_tiny_service, shards=2,
+                                 breaker_threshold=1, supervise=False)
         try:
             victim = service._shards[1]
             victim.process.terminate()
@@ -610,6 +619,15 @@ class TestShardedService:
             assert stats["reroutes"] == 1
             assert stats["live_shards"] == 1
             assert stats["fallback"]["requests"] == 2
+            # the dead worker was reaped, not leaked: child joined (an
+            # exit code exists) and the shard went suspect with the
+            # failure recorded in the stats rollup
+            assert victim.process.exitcode is not None
+            assert victim.state == "suspect"
+            entry = stats["per_shard"][1]
+            assert entry["state"] == "suspect"
+            assert entry["restarts"] == 0
+            assert entry["last_shard_error"]
             # second batch: the open breaker sends the chunk straight to
             # the fallback without touching the dead worker
             service.infer_many(_tiny_samples(2))
@@ -620,3 +638,297 @@ class TestShardedService:
     def test_rejects_bad_shard_count(self):
         with pytest.raises(EngineError):
             ShardedService(_tiny_service, shards=0)
+
+
+def _wait_until(predicate, timeout=90.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
+
+
+class TestShardSupervision:
+    def test_supervisor_heals_worker_killed_mid_batch(self):
+        service = ShardedService(
+            _tiny_service, shards=2, breaker_threshold=1,
+            probe_interval_s=0.1, restart_backoff_s=0.05,
+            restart_backoff_cap_s=0.2,
+        )
+        try:
+            samples = _tiny_samples(4)
+            reference = _tiny_service()
+            expected = [reference.cleartext_label(s) for s in samples]
+            reference.close()
+            victim_pid = service._shards[0].process.pid
+            killer = threading.Timer(
+                0.2, lambda: os.kill(victim_pid, signal.SIGKILL)
+            )
+            killer.start()
+            results = service.infer_many(samples)
+            killer.join()
+            # the batch completed with every label correct despite the
+            # SIGKILL: the dead shard's chunk rerouted to the fallback
+            assert [r.label for r in results] == expected
+            # the supervisor re-forks the worker within its backoff
+            # budget and the shard walks suspect -> restarting -> alive
+            assert _wait_until(
+                lambda: service.stats()["restarts"] >= 1
+                and len(service.live_shards()) == 2
+            )
+            assert service.shard_states() == ["alive", "alive"]
+            stats = service.stats()
+            assert stats["per_shard"][0]["restarts"] == 1
+            assert stats["supervisor"]["restarts"] >= 1
+            # a later batch is served by the restarted shard: the
+            # degraded counter stops growing
+            degraded_before = stats["degraded_requests"]
+            results = service.infer_many(samples)
+            assert [r.label for r in results] == expected
+            assert service.stats()["degraded_requests"] == degraded_before
+        finally:
+            service.close()
+
+    def test_probe_detects_dead_worker_and_restart_revives_it(self):
+        service = ShardedService(_tiny_service, shards=2, supervise=False)
+        try:
+            victim = service._shards[0]
+            victim.process.kill()
+            victim.process.join()
+            old_pid = victim.process.pid
+            # the heartbeat proves the worker gone: suspect + reaped
+            assert service.probe_shard(0) is False
+            assert victim.state == "suspect"
+            assert victim.process.exitcode is not None
+            assert not victim.breaker.allow()
+            # a live shard probes healthy
+            assert service.probe_shard(1) is True
+            # restart re-forks, re-probes, and closes the breaker
+            assert service.restart_shard(0) is True
+            assert victim.state == "alive"
+            assert victim.process.pid != old_pid
+            assert victim.breaker.allow()
+            assert victim.last_error is None
+            assert service.stats()["restarts"] == 1
+            results = service.infer_many(_tiny_samples(2))
+            assert all(r.ok for r in results)
+            assert service.stats()["degraded_requests"] == 0
+        finally:
+            service.close()
+
+    def test_restart_budget_exhausts_to_terminal_failed_state(self):
+        service = ShardedService(_tiny_service, shards=2, supervise=False)
+        supervisor = ShardSupervisor(
+            service, probe_interval_s=60.0, max_restarts=0
+        )
+        try:
+            victim = service._shards[0]
+            victim.process.kill()
+            victim.process.join()
+            assert service.probe_shard(0) is False
+            # budget of zero: the first supervision pass retires it
+            actions = supervisor.check_once()
+            assert actions["gave_up"] == 1
+            assert victim.state == "failed"
+            # a failed shard is terminal: later passes leave it alone
+            assert supervisor.check_once()["gave_up"] == 0
+            assert victim.state == "failed"
+            assert supervisor.stats()["gave_up"] == 1
+            # ...but serving continues, degraded through the fallback
+            results = service.infer_many(_tiny_samples(2))
+            assert all(r.ok for r in results)
+            assert service.stats()["degraded_requests"] >= 1
+        finally:
+            supervisor.close()
+            service.close()
+
+    def test_backoff_schedule_caps_and_gates_restart_attempts(self):
+        service = ShardedService(_tiny_service, shards=1, supervise=False)
+        fake_now = [100.0]
+        supervisor = ShardSupervisor(
+            service, max_restarts=5, backoff_s=0.25, backoff_cap_s=1.0,
+            clock=lambda: fake_now[0],
+        )
+        try:
+            shard = service._shards[0]
+            with shard.lock:
+                shard.state = "suspect"
+
+            # make every restart attempt fail without forking anything
+            service.restart_shard = lambda index: False  # type: ignore[method-assign]
+            delays = []
+            for _ in range(4):
+                assert supervisor.check_once()["restart_failures"] == 1
+                delays.append(shard.next_restart_at - fake_now[0])
+                # before the backoff expires the shard is left alone
+                assert supervisor.check_once()["restart_failures"] == 0
+                fake_now[0] = shard.next_restart_at
+            # capped exponential: 0.25, 0.5, 1.0, 1.0 (cap)
+            assert delays == [0.25, 0.5, 1.0, 1.0]
+        finally:
+            supervisor.close()
+            service.close()
+
+
+class TestAdmissionAndDrain:
+    def test_overload_sheds_the_whole_batch(self):
+        service = ShardedService(
+            _tiny_service, shards=1, supervise=False, max_inflight=2
+        )
+        try:
+            box = []
+            thread = threading.Thread(
+                target=lambda: box.extend(service.infer_many(_tiny_samples(2)))
+            )
+            thread.start()
+            assert _wait_until(lambda: service._inflight == 2)
+            # budget full: the incoming batch is shed whole, typed
+            with pytest.raises(ServiceOverloadedError):
+                service.infer_many(_tiny_samples(1))
+            thread.join(timeout=90.0)
+            assert not thread.is_alive()
+            assert len(box) == 2 and all(r.ok for r in box)
+            stats = service.stats()
+            assert stats["shed_requests"] == 1
+            assert stats["requests"] == 2  # shed work never counts as served
+            assert stats["max_inflight"] == 2
+            assert stats["inflight"] == 0
+            # budget free again: the same batch is admitted
+            assert all(r.ok for r in service.infer_many(_tiny_samples(1)))
+        finally:
+            service.close()
+
+    def test_close_drains_inflight_batch_then_refuses_new_work(self):
+        service = ShardedService(_tiny_service, shards=1, supervise=False)
+        box = []
+        thread = threading.Thread(
+            target=lambda: box.extend(service.infer_many(_tiny_samples(2)))
+        )
+        thread.start()
+        assert _wait_until(lambda: service._inflight == 2)
+        service.close(drain_timeout_s=90.0)
+        thread.join(timeout=90.0)
+        assert not thread.is_alive()
+        # the in-flight batch finished intact during the drain window
+        assert len(box) == 2 and all(r.ok for r in box)
+        stats = service.stats()
+        assert stats["drained_requests"] == 2
+        assert stats["aborted_requests"] == 0
+        assert stats["draining"] is True
+        with pytest.raises(ServiceDrainingError):
+            service.infer_many(_tiny_samples(1))
+        service.close()  # idempotent
+
+    def test_expired_drain_grace_counts_aborted_requests(self):
+        service = ShardedService(_tiny_service, shards=1, supervise=False)
+        box = []
+        thread = threading.Thread(
+            target=lambda: box.extend(service.infer_many(_tiny_samples(2)))
+        )
+        thread.start()
+        assert _wait_until(lambda: service._inflight == 2)
+        service.close(drain_timeout_s=0.0)
+        stats = service.stats()
+        assert stats["aborted_requests"] == 2
+        assert stats["drained_requests"] == 0
+        thread.join(timeout=90.0)
+        assert not thread.is_alive()
+
+
+class TestWorkerLifecycle:
+    def test_request_shutdown_drains_idle_server(self, tiny_service):
+        server = WorkerServer(tiny_service)
+        thread = threading.Thread(target=server.serve_forever)
+        thread.start()
+        try:
+            # an idle server (blocked in accept) drains immediately
+            server.request_shutdown()
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            assert server.draining is True
+        finally:
+            server.close()
+
+    def test_server_survives_mid_record_disconnect(self, tiny_service):
+        server = WorkerServer(tiny_service)
+        thread = threading.Thread(target=server.serve_forever)
+        thread.start()
+        try:
+            # half a ctl frame, then vanish: the connection dies, the
+            # server does not
+            frame = encode_frame(checksummed("ctl", b'{"op":"ping"}'))
+            sock = socket.create_connection(server.address)
+            sock.sendall(frame[: len(frame) // 2])
+            sock.close()
+            # a fresh connection is served normally afterwards
+            sock = socket.create_connection(server.address)
+            try:
+                send_ctl(sock, {"op": "ping"})
+                assert recv_ctl(sock, timeout=30.0)["op"] == "pong"
+            finally:
+                sock.close()
+            assert server.connections == 2
+        finally:
+            server.request_shutdown()
+            thread.join(timeout=30.0)
+            server.close()
+
+    def test_garbage_bytes_drop_connection_not_server(self, tiny_service):
+        server = WorkerServer(tiny_service)
+        thread = threading.Thread(target=server.serve_forever)
+        thread.start()
+        try:
+            bad = checksummed("ctl", b'{"op":"ping"}')
+            bad = Frame(tag="ctl", seq=0, payload=bad.payload, crc=bad.crc ^ 1)
+            sock = socket.create_connection(server.address)
+            sock.sendall(encode_frame(bad))
+            sock.close()
+            sock = socket.create_connection(server.address)
+            try:
+                send_ctl(sock, {"op": "ping"})
+                assert recv_ctl(sock, timeout=30.0)["op"] == "pong"
+            finally:
+                sock.close()
+            assert _wait_until(
+                lambda: server.counters.get("integrity_errors", 0) == 1,
+                timeout=30.0,
+            )
+        finally:
+            server.request_shutdown()
+            thread.join(timeout=30.0)
+            server.close()
+
+    def test_handler_exception_reported_not_fatal(self, tiny_service):
+        server = WorkerServer(tiny_service)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"once": True})
+        thread.start()
+        sock = socket.create_connection(server.address)
+        try:
+            # malformed infer payload: the handler raises, the reply is
+            # a typed refusal, and the connection keeps serving
+            send_ctl(sock, {"op": "infer", "samples": "garbage"})
+            reply = recv_ctl(sock, timeout=30.0)
+            assert reply["ok"] is False
+            assert reply["error_type"]
+            send_ctl(sock, {"op": "ping"})
+            assert recv_ctl(sock, timeout=30.0)["op"] == "pong"
+            send_ctl(sock, {"op": "shutdown"})
+            recv_ctl(sock, timeout=30.0)
+        finally:
+            sock.close()
+            thread.join(timeout=30.0)
+        assert server.counters.get("op_errors", 0) == 1
+
+    def test_port_file_written_then_removed_on_close(
+        self, tiny_service, tmp_path
+    ):
+        server = WorkerServer(tiny_service)
+        port_file = tmp_path / "worker.port"
+        server.write_port_file(str(port_file))
+        host, port = port_file.read_text().split()
+        assert (host, int(port)) == tuple(server.address)
+        server.close()
+        assert not port_file.exists()
+        server.close()  # idempotent
